@@ -1,0 +1,19 @@
+"""Fig. 7: locations of regions and selected servers."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_server_locations(benchmark, cache, emit):
+    result = benchmark.pedantic(fig7.run, args=(cache,),
+                                rounds=1, iterations=1)
+    emit("fig7", fig7.render(result))
+
+    # Topology-based selections are U.S.-only (paper appendix A).
+    for region in cache.scenario.us_regions:
+        assert result.topology_points[region], region
+        assert result.all_us(region), region
+
+    # Differential selections span the globe.
+    for region in cache.scenario.differential_regions:
+        assert result.differential_points[region], region
+    assert result.countries_spanned("europe-west1") >= 3

@@ -1,0 +1,28 @@
+"""CLASP reproduction: cloud network performance measurement in simulation.
+
+This package reproduces "Measuring the network performance of Google
+Cloud Platform" (IMC 2021) end to end: a synthetic Internet and cloud
+platform substrate, the speed test infrastructure, the measurement
+tooling (traceroute, bdrmap, flow capture), and CLASP itself - server
+selection, VM orchestration, longitudinal campaigns, and congestion
+analysis.
+
+Quickstart::
+
+    from repro.experiments import build_scenario
+    from repro.core import Clasp
+
+    scenario = build_scenario(seed=7, scale=0.1)
+    clasp = Clasp(scenario)
+    selection = clasp.select_topology_servers("us-west1")
+    dataset = clasp.run_campaign(days=3)
+    report = clasp.detect_congestion(dataset)
+"""
+
+__version__ = "1.0.0"
+
+from .errors import ReproError
+from .rng import SeedTree
+from .simclock import SimClock
+
+__all__ = ["ReproError", "SeedTree", "SimClock", "__version__"]

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands:
+
+* ``experiment <id>`` - run one paper experiment (``table1``, ``fig2``
+  ... ``fig8``) and print its rendered block.
+* ``quickloop`` - the quickstart loop (pilot scan, campaign, detection)
+  with a compact report.
+* ``world`` - generate a scenario and print its inventory.
+* ``cost`` - estimate the cloud bill for a campaign shape.
+
+Every command accepts ``--seed`` / ``--scale`` (and ``--days`` where a
+campaign runs), mirroring the ``REPRO_*`` environment knobs the
+benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = ("table1", "fig2", "fig3", "fig4", "fig5", "fig6",
+               "fig7", "fig8")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, days: bool = True) -> None:
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--scale", type=float, default=0.2)
+        if days:
+            p.add_argument("--days", type=int, default=7)
+
+    p_exp = sub.add_parser("experiment",
+                           help="run one paper table/figure experiment")
+    p_exp.add_argument("id", choices=EXPERIMENTS)
+    common(p_exp)
+
+    p_loop = sub.add_parser("quickloop",
+                            help="pilot scan + campaign + detection")
+    p_loop.add_argument("--region", default="us-west1")
+    common(p_loop)
+
+    p_world = sub.add_parser("world",
+                             help="generate a world and print inventory")
+    common(p_world, days=False)
+
+    p_cost = sub.add_parser("cost",
+                            help="estimate the cloud bill for a campaign")
+    p_cost.add_argument("--servers", type=int, default=450)
+    p_cost.add_argument("--days", type=int, default=30)
+    p_cost.add_argument("--tier", choices=("premium", "standard"),
+                        default="premium")
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import os
+    os.environ.setdefault("REPRO_SEED", str(args.seed))
+    os.environ.setdefault("REPRO_SCALE", str(args.scale))
+    os.environ.setdefault("REPRO_DAYS", str(args.days))
+    from repro import experiments
+    from repro.experiments import shared_scenario
+    module = getattr(experiments, args.id)
+    cache = shared_scenario(seed=args.seed, scale=args.scale)
+    result = module.run(cache)
+    print(module.render(result))
+    return 0
+
+
+def _cmd_quickloop(args: argparse.Namespace) -> int:
+    from repro.core.congestion import detect
+    from repro.experiments import build_scenario
+    from repro.report.tables import TextTable, format_percent
+
+    scenario = build_scenario(seed=args.seed, scale=args.scale)
+    clasp = scenario.clasp
+    selection = clasp.select_topology_servers(args.region)
+    plan = clasp.deploy_topology(args.region, selection)
+    dataset = clasp.run_campaign([plan], days=args.days)
+    report = detect(dataset)
+    table = TextTable(["metric", "value"],
+                      title=f"{args.region}: {args.days}-day campaign")
+    table.add_row(["servers measured", len(plan.server_ids)])
+    table.add_row(["tests completed", dataset.completed_tests])
+    table.add_row(["congested s-days",
+                   format_percent(report.congested_day_fraction)])
+    table.add_row(["congested s-hours",
+                   format_percent(report.congested_hour_fraction, 2)])
+    table.add_row(["congested servers", len(report.congested_pairs())])
+    table.add_row(["cloud bill", f"${clasp.total_cost_usd():,.2f}"])
+    print(table.render())
+    return 0
+
+
+def _cmd_world(args: argparse.Namespace) -> int:
+    from repro.experiments import build_scenario
+    from repro.report.tables import TextTable
+
+    scenario = build_scenario(seed=args.seed, scale=args.scale)
+    stats = scenario.internet.topology.stats()
+    table = TextTable(["component", "count"],
+                      title=f"World (seed={args.seed}, "
+                            f"scale={args.scale})")
+    for key in ("ases", "pops", "links", "interdomain_links"):
+        table.add_row([key, stats[key]])
+    table.add_row(["cloud interdomain links",
+                   len(scenario.internet.topology.interdomain_links(
+                       scenario.internet.cloud_asn))])
+    table.add_row(["speed test servers", len(scenario.catalog)])
+    table.add_row(["US servers",
+                   len(scenario.catalog.servers(country="US"))])
+    table.add_row(["congested ASNs",
+                   len(scenario.internet.congested_asns)])
+    table.add_row(["story networks", len(scenario.story_asns)])
+    print(table.render())
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    from repro.cloud.billing import CostTracker
+    from repro.cloud.tiers import NetworkTier
+    from repro.core.orchestrator import Orchestrator
+    from repro.report.tables import TextTable
+    from repro.units import transferred_bytes
+
+    tier = NetworkTier(args.tier)
+    n_vms = Orchestrator.vms_needed(args.servers)
+    costs = CostTracker()
+    vm_usd = costs.charge_vm_hours(0.095 * n_vms, args.days * 24)
+    tests = args.servers * 24 * args.days
+    upload_bytes = transferred_bytes(95.0, 15.0)  # per test
+    egress_usd = costs.charge_egress(tests * upload_bytes, tier)
+    storage_usd = costs.charge_storage(tests * 2_000_000,
+                                       args.days / 30.0)
+    table = TextTable(["item", "USD"],
+                      title=f"Estimated bill: {args.servers} servers, "
+                            f"{args.days} days, {tier.value} tier")
+    table.add_row(["measurement VMs", f"{vm_usd:,.2f}"])
+    table.add_row(["egress (upload tests)", f"{egress_usd:,.2f}"])
+    table.add_row(["storage", f"{storage_usd:,.2f}"])
+    table.add_row(["total", f"{costs.total_usd:,.2f}"])
+    print(table.render())
+    return 0
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "experiment": _cmd_experiment,
+    "quickloop": _cmd_quickloop,
+    "world": _cmd_world,
+    "cost": _cmd_cost,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

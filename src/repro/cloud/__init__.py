@@ -1,0 +1,28 @@
+"""Simulated hyperscale cloud platform (GCP-like).
+
+Regions and zones, machine types, VM lifecycle with traffic-shaped
+NICs, premium/standard network service tiers, egress/VM/storage
+billing, storage buckets, and an orchestration API - everything CLASP
+touches in the real cloud, implemented against the synthetic Internet
+in :mod:`repro.netsim`.
+"""
+
+from .regions import Region, Zone, REGIONS, region_by_name
+from .machinetypes import MachineType, MACHINE_TYPES, machine_type_by_name
+from .nic import NetworkInterface, TokenBucket
+from .tiers import NetworkTier
+from .vm import VirtualMachine, VMStatus
+from .billing import CostTracker, PriceBook
+from .storage import StorageBucket, StorageObject, StorageService
+from .api import CloudPlatform, Direction
+
+__all__ = [
+    "Region", "Zone", "REGIONS", "region_by_name",
+    "MachineType", "MACHINE_TYPES", "machine_type_by_name",
+    "NetworkInterface", "TokenBucket",
+    "NetworkTier",
+    "VirtualMachine", "VMStatus",
+    "CostTracker", "PriceBook",
+    "StorageBucket", "StorageObject", "StorageService",
+    "CloudPlatform", "Direction",
+]

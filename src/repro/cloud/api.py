@@ -1,0 +1,216 @@
+"""The cloud platform facade: orchestration API plus tier routing.
+
+:class:`CloudPlatform` owns the simulated cloud side of the world: it
+binds a generated Internet to the region catalog, creates/terminates
+VMs (attaching them as hosts in the topology), provides buckets, bills
+usage, and - crucially for the experiments - computes tier-correct
+routes between a VM and any destination:
+
+==============  =========  ==============  =====================
+direction       tier       graph           potato policy
+==============  =========  ==============  =====================
+egress (VM->X)  premium    full peering    cold out of the cloud
+egress (VM->X)  standard   transit-only    hot (exit at region)
+ingress (X->VM) premium    full peering    hot (enter near src)
+ingress (X->VM) standard   transit-only    cold into the cloud
+==============  =========  ==============  =====================
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CloudError, QuotaExceededError
+from ..netsim.generator import GeneratedInternet
+from ..netsim.linkstate import LinkStateEvaluator
+from ..netsim.pathmodel import PathPerformanceModel
+from ..netsim.routing import GraphMode, Route, Router, TierPolicy
+from ..netsim.topology import PoP
+from ..units import gbps
+from .billing import CostTracker
+from .machinetypes import machine_type_by_name
+from .nic import NetworkInterface
+from .regions import region_by_name
+from .storage import StorageService
+from .tiers import NetworkTier
+from .vm import VirtualMachine, VMStatus
+
+__all__ = ["Direction", "CloudPlatform"]
+
+
+class Direction(enum.Enum):
+    """Direction of bulk data relative to the VM."""
+
+    EGRESS = "egress"     # VM -> remote (upload test data direction)
+    INGRESS = "ingress"   # remote -> VM (download test data direction)
+
+
+#: (direction, tier) -> (graph mode, first-AS policy, last-AS policy)
+_TIER_TABLE: Dict[Tuple[Direction, NetworkTier],
+                  Tuple[GraphMode, TierPolicy, TierPolicy]] = {
+    (Direction.EGRESS, NetworkTier.PREMIUM):
+        (GraphMode.FULL, TierPolicy.COLD_POTATO, TierPolicy.HOT_POTATO),
+    (Direction.EGRESS, NetworkTier.STANDARD):
+        (GraphMode.STANDARD, TierPolicy.HOT_POTATO, TierPolicy.HOT_POTATO),
+    (Direction.INGRESS, NetworkTier.PREMIUM):
+        (GraphMode.FULL, TierPolicy.HOT_POTATO, TierPolicy.HOT_POTATO),
+    (Direction.INGRESS, NetworkTier.STANDARD):
+        (GraphMode.STANDARD, TierPolicy.HOT_POTATO, TierPolicy.COLD_POTATO),
+}
+
+
+class CloudPlatform:
+    """Simulated cloud provider bound to one generated Internet."""
+
+    #: Default per-region VM quota (matches a modest real project).
+    DEFAULT_VM_QUOTA = 24
+
+    def __init__(self, internet: GeneratedInternet,
+                 cost_tracker: Optional[CostTracker] = None,
+                 vm_quota_per_region: int = DEFAULT_VM_QUOTA) -> None:
+        self.internet = internet
+        self.topology = internet.topology
+        self.cloud_asn = internet.cloud_asn
+        self.router = Router(self.topology, cloud_asn=self.cloud_asn)
+        self.evaluator = LinkStateEvaluator(internet.utilization)
+        self.path_model = PathPerformanceModel(self.topology, self.evaluator)
+        self.costs = cost_tracker or CostTracker()
+        self.storage = StorageService(self.costs)
+        self._vm_quota = vm_quota_per_region
+        self._vms: Dict[str, VirtualMachine] = {}
+        self._vm_counter = itertools.count(1)
+        self._route_cache: Dict[Tuple[int, int, Direction, NetworkTier, int],
+                                Route] = {}
+
+    # ------------------------------------------------------------------
+    # placement helpers
+
+    def region_pop(self, region_name: str) -> PoP:
+        """The cloud WAN PoP hosting a region's datacenter."""
+        region = region_by_name(region_name)
+        pop = self.topology.pop_of_as_in_city(self.cloud_asn, region.city_key)
+        if pop is None:
+            raise CloudError(
+                f"region {region_name} city {region.city_key!r} has no "
+                f"cloud PoP in this topology")
+        return pop
+
+    def available_regions(self) -> List[str]:
+        """Regions whose metro exists in the generated topology."""
+        from .regions import REGIONS
+        out = []
+        for name, region in REGIONS.items():
+            if self.topology.pop_of_as_in_city(self.cloud_asn,
+                                               region.city_key) is not None:
+                out.append(name)
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # VM lifecycle
+
+    def create_vm(self, region_name: str, machine_type: str,
+                  tier: NetworkTier, ts: float,
+                  zone_suffix: Optional[str] = None,
+                  name: Optional[str] = None) -> VirtualMachine:
+        """Provision a VM and attach it to the region's PoP."""
+        region = region_by_name(region_name)
+        running = [v for v in self._vms.values()
+                   if v.region_name == region_name and v.is_running]
+        if len(running) >= self._vm_quota:
+            raise QuotaExceededError(
+                f"region {region_name} is at its quota of "
+                f"{self._vm_quota} running VMs")
+        mtype = machine_type_by_name(machine_type)
+        if zone_suffix is None:
+            # Spread across zones round-robin, like the paper's
+            # availability-zone load balancing.
+            suffix = region.zone_suffixes[len(running) % len(region.zone_suffixes)]
+        else:
+            suffix = zone_suffix
+        zone = region.zone(suffix)
+
+        attach_pop = self.region_pop(region_name)
+        alloc = self.internet.infra_allocators[self.cloud_asn]
+        vm_ip = alloc.allocate_host()
+        host = self.topology.add_host(self.cloud_asn, attach_pop.pop_id,
+                                      vm_ip, capacity_mbps=gbps(10.0),
+                                      delay_ms=0.05)
+        # Cached intra-AS tables predate the new leaf node.
+        self.router.invalidate_intra_cache(self.cloud_asn)
+        attach_link = self.topology.links_of_pop(host.pop_id)[0]
+        nic = NetworkInterface(ip=vm_ip, host_pop_id=host.pop_id,
+                               attach_link_id=attach_link.link_id)
+        vm_name = name or f"clasp-{region_name}-{next(self._vm_counter):03d}"
+        if vm_name in self._vms:
+            raise CloudError(f"VM name {vm_name!r} already in use")
+        vm = VirtualMachine(name=vm_name, zone=zone, machine_type=mtype,
+                            tier=tier, nic=nic, created_ts=ts)
+        self._vms[vm_name] = vm
+        return vm
+
+    def terminate_vm(self, name: str, ts: float) -> None:
+        vm = self.get_vm(name)
+        if not vm.is_running:
+            raise CloudError(f"VM {name} is not running")
+        vm.status = VMStatus.TERMINATED
+        vm.terminated_ts = ts
+
+    def get_vm(self, name: str) -> VirtualMachine:
+        try:
+            return self._vms[name]
+        except KeyError:
+            raise CloudError(f"unknown VM {name!r}") from None
+
+    def vms(self, region_name: Optional[str] = None,
+            running_only: bool = True) -> List[VirtualMachine]:
+        out = [v for v in self._vms.values()
+               if (region_name is None or v.region_name == region_name)
+               and (not running_only or v.is_running)]
+        return sorted(out, key=lambda v: v.name)
+
+    def charge_vm_uptime(self, hours: float) -> float:
+        """Bill *hours* of uptime for every running VM; returns USD."""
+        total = 0.0
+        for vm in self._vms.values():
+            if vm.is_running:
+                total += self.costs.charge_vm_hours(
+                    vm.machine_type.hourly_usd, hours)
+        return total
+
+    # ------------------------------------------------------------------
+    # tier routing
+
+    def route(self, vm: VirtualMachine, remote_pop_id: int,
+              direction: Direction, flow_id: int = 0) -> Route:
+        """Tier-correct route between a VM and a remote host PoP.
+
+        For :data:`Direction.EGRESS` the route runs VM -> remote; for
+        :data:`Direction.INGRESS` it runs remote -> VM.  Routes are
+        cached per (endpoints, direction, tier, flow).
+        """
+        key = (vm.nic.host_pop_id, remote_pop_id, direction, vm.tier, flow_id)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        mode, first_pol, last_pol = _TIER_TABLE[(direction, vm.tier)]
+        if direction is Direction.EGRESS:
+            src, dst = vm.nic.host_pop_id, remote_pop_id
+        else:
+            src, dst = remote_pop_id, vm.nic.host_pop_id
+        route = self.router.route(src, dst, mode=mode,
+                                  first_as_policy=first_pol,
+                                  last_as_policy=last_pol,
+                                  flow_id=flow_id)
+        self._route_cache[key] = route
+        return route
+
+    def route_pair(self, vm: VirtualMachine, remote_pop_id: int,
+                   data_direction: Direction,
+                   flow_id: int = 0) -> Tuple[Route, Route]:
+        """(data route, reverse/ACK route) for one transfer."""
+        reverse_dir = (Direction.INGRESS if data_direction is Direction.EGRESS
+                       else Direction.EGRESS)
+        return (self.route(vm, remote_pop_id, data_direction, flow_id),
+                self.route(vm, remote_pop_id, reverse_dir, flow_id))

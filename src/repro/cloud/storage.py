@@ -1,0 +1,111 @@
+"""Cloud storage buckets.
+
+CLASP compresses raw measurement artefacts (pcaps, browser captures,
+traceroute warts) on the measurement VM and uploads them to a regional
+bucket; the analysis VM in the same region consumes them.  We track
+object names, sizes, and timestamps so the pipeline and billing behave
+like the real thing, without holding artefact payloads in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import StorageError
+from .billing import CostTracker
+
+__all__ = ["StorageObject", "StorageBucket", "StorageService"]
+
+
+@dataclass(frozen=True)
+class StorageObject:
+    """Metadata of one stored object."""
+
+    key: str
+    size_bytes: int
+    uploaded_ts: float
+    content_kind: str = "raw"   # raw | processed | index
+
+
+class StorageBucket:
+    """A named bucket pinned to a region."""
+
+    def __init__(self, name: str, region_name: str) -> None:
+        if not name:
+            raise StorageError("bucket name cannot be empty")
+        self.name = name
+        self.region_name = region_name
+        self._objects: Dict[str, StorageObject] = {}
+
+    def upload(self, key: str, size_bytes: int, ts: float,
+               content_kind: str = "raw") -> StorageObject:
+        """Store object metadata; overwrites an existing key."""
+        if not key:
+            raise StorageError("object key cannot be empty")
+        if size_bytes < 0:
+            raise StorageError(f"object size must be >= 0: {size_bytes}")
+        obj = StorageObject(key, int(size_bytes), ts, content_kind)
+        self._objects[key] = obj
+        return obj
+
+    def get(self, key: str) -> StorageObject:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise StorageError(
+                f"object {key!r} not found in bucket {self.name}") from None
+
+    def delete(self, key: str) -> None:
+        if key not in self._objects:
+            raise StorageError(
+                f"object {key!r} not found in bucket {self.name}")
+        del self._objects[key]
+
+    def list(self, prefix: str = "") -> List[StorageObject]:
+        return sorted((o for k, o in self._objects.items()
+                       if k.startswith(prefix)),
+                      key=lambda o: o.key)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[StorageObject]:
+        return iter(self.list())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(o.size_bytes for o in self._objects.values())
+
+
+class StorageService:
+    """Bucket management plus storage billing."""
+
+    def __init__(self, cost_tracker: Optional[CostTracker] = None) -> None:
+        self._buckets: Dict[str, StorageBucket] = {}
+        self._costs = cost_tracker
+
+    def create_bucket(self, name: str, region_name: str) -> StorageBucket:
+        if name in self._buckets:
+            raise StorageError(f"bucket {name!r} already exists")
+        bucket = StorageBucket(name, region_name)
+        self._buckets[name] = bucket
+        return bucket
+
+    def bucket(self, name: str) -> StorageBucket:
+        try:
+            return self._buckets[name]
+        except KeyError:
+            raise StorageError(f"unknown bucket {name!r}") from None
+
+    def buckets(self) -> List[StorageBucket]:
+        return list(self._buckets.values())
+
+    def charge_monthly_storage(self, months: float = 1.0) -> float:
+        """Bill all buckets' current contents for *months*; returns USD."""
+        if self._costs is None:
+            return 0.0
+        total = 0.0
+        for bucket in self._buckets.values():
+            total += self._costs.charge_storage(bucket.total_bytes, months)
+        return total

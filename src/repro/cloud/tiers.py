@@ -1,0 +1,32 @@
+"""Network service tiers.
+
+* **Premium** - traffic rides the cloud's private WAN: egress exits at
+  the interconnection nearest the destination (cold potato), ingress
+  enters the WAN at the edge nearest the source and is carried to the
+  region.  Routed over the full peering graph.
+* **Standard** - traffic uses the public Internet: egress exits via a
+  transit provider at the origin region (hot potato), ingress travels
+  transit all the way and is delivered at the interconnection nearest
+  the region, because standard-tier prefixes are only announced there.
+
+The mapping to route computation lives in
+:meth:`repro.cloud.api.CloudPlatform.route`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["NetworkTier"]
+
+
+class NetworkTier(enum.Enum):
+    """The two network service tiers the platform sells."""
+
+    PREMIUM = "premium"
+    STANDARD = "standard"
+
+    @property
+    def egress_price_tier(self) -> str:
+        """Billing bucket name used by :class:`~repro.cloud.billing.PriceBook`."""
+        return self.value

@@ -1,0 +1,58 @@
+"""Virtual machine model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import CloudError
+from .machinetypes import MachineType
+from .nic import NetworkInterface
+from .regions import Zone
+from .tiers import NetworkTier
+
+__all__ = ["VMStatus", "VirtualMachine"]
+
+
+class VMStatus(enum.Enum):
+    PROVISIONING = "provisioning"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class VirtualMachine:
+    """A VM instance: shape, placement, tier, and NIC.
+
+    Instances are created through
+    :meth:`repro.cloud.api.CloudPlatform.create_vm`; mutating state
+    directly will desynchronise billing.
+    """
+
+    name: str
+    zone: Zone
+    machine_type: MachineType
+    tier: NetworkTier
+    nic: NetworkInterface
+    created_ts: float
+    status: VMStatus = VMStatus.RUNNING
+    terminated_ts: Optional[float] = None
+
+    @property
+    def region_name(self) -> str:
+        return self.zone.region_name
+
+    @property
+    def is_running(self) -> bool:
+        return self.status is VMStatus.RUNNING
+
+    def require_running(self) -> None:
+        """Raise unless the VM can serve work."""
+        if not self.is_running:
+            raise CloudError(f"VM {self.name} is {self.status.value}")
+
+    def uptime_hours(self, now_ts: float) -> float:
+        """Billable hours so far (or total if terminated)."""
+        end = self.terminated_ts if self.terminated_ts is not None else now_ts
+        return max(0.0, (end - self.created_ts) / 3600.0)

@@ -1,0 +1,107 @@
+"""Adaptive server-list maintenance (future work §5).
+
+The paper ran its pilot scans once, so CLASP "cannot adapt to changes
+in the use of interdomain links and any new deployment of speed test
+servers".  :class:`AdaptiveSelector` closes that gap: it re-runs the
+pilot scan on a schedule, diffs the result against the deployed list,
+and emits an update plan (servers to add for newly covered links,
+servers to drop for links that disappeared), bounded by a churn budget
+so the longitudinal series stays comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from ..errors import SelectionError
+from .selection.topology_based import TopologySelection, TopologySelector
+
+__all__ = ["ServerListUpdate", "AdaptiveSelector"]
+
+
+@dataclass
+class ServerListUpdate:
+    """Diff between the deployed list and a fresh pilot scan."""
+
+    region: str
+    ts: float
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    kept: List[str] = field(default_factory=list)
+    #: interconnections that appeared / vanished since the last scan
+    new_links: Set[int] = field(default_factory=set)
+    lost_links: Set[int] = field(default_factory=set)
+
+    @property
+    def churn(self) -> int:
+        return len(self.added) + len(self.removed)
+
+    def apply_to(self, current: Sequence[str]) -> List[str]:
+        """The updated server list, preserving deployment order."""
+        removed = set(self.removed)
+        out = [sid for sid in current if sid not in removed]
+        out.extend(self.added)
+        return out
+
+
+class AdaptiveSelector:
+    """Periodic pilot re-scans with churn-bounded list updates."""
+
+    def __init__(self, selector: TopologySelector,
+                 rescan_interval_days: int = 30,
+                 max_churn_fraction: float = 0.2) -> None:
+        if rescan_interval_days < 1:
+            raise SelectionError("rescan interval must be >= 1 day")
+        if not 0 < max_churn_fraction <= 1:
+            raise SelectionError("max_churn_fraction must be in (0, 1]")
+        self.selector = selector
+        self.rescan_interval_days = rescan_interval_days
+        self.max_churn_fraction = max_churn_fraction
+        self._last_selection: Dict[str, TopologySelection] = {}
+        self._last_scan_ts: Dict[str, float] = {}
+
+    def needs_rescan(self, region: str, ts: float) -> bool:
+        last = self._last_scan_ts.get(region)
+        if last is None:
+            return True
+        return (ts - last) >= self.rescan_interval_days * 86400
+
+    def record_baseline(self, region: str, selection: TopologySelection,
+                        ts: float) -> None:
+        """Register the selection the deployment was built from."""
+        self._last_selection[region] = selection
+        self._last_scan_ts[region] = ts
+
+    def rescan(self, region: str, src_pop_id: int, ts: float,
+               deployed: Sequence[str]) -> ServerListUpdate:
+        """Re-run the pilot scan and diff against the deployed list."""
+        baseline = self._last_selection.get(region)
+        fresh = self.selector.run(region, src_pop_id, ts)
+        self._last_selection[region] = fresh
+        self._last_scan_ts[region] = ts
+
+        deployed_set = set(deployed)
+        fresh_ids = fresh.selected_ids()
+        fresh_set = set(fresh_ids)
+
+        update = ServerListUpdate(region=region, ts=ts)
+        update.kept = [sid for sid in deployed if sid in fresh_set]
+        candidate_adds = [sid for sid in fresh_ids
+                          if sid not in deployed_set]
+        candidate_removes = [sid for sid in deployed
+                             if sid not in fresh_set]
+        # Bound total churn so the longitudinal series stays
+        # comparable: removals first (dead links waste budget), then
+        # additions with whatever churn budget remains.
+        budget = max(1, int(len(deployed) * self.max_churn_fraction))
+        update.removed = candidate_removes[:budget]
+        remaining = budget - len(update.removed)
+        update.added = candidate_adds[:remaining] if remaining > 0 else []
+
+        if baseline is not None:
+            old_links = set(baseline.groups)
+            new_links = set(fresh.groups)
+            update.new_links = new_links - old_links
+            update.lost_links = old_links - new_links
+        return update

@@ -1,0 +1,228 @@
+"""Longitudinal measurement campaigns.
+
+:class:`CampaignRunner` drives the hourly cron across all deployed
+measurement VMs over simulated weeks/months: every hour, every VM runs
+its randomized test sequence, artefacts are compressed and shipped to
+the regional bucket, billing accrues (VM hours, standard/premium
+egress, storage), and processed records land in the time-series store.
+
+:class:`CampaignDataset` is the analysis-facing product: a tagged
+record table plus per-server metadata (timezone, AS, business type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cloud.api import CloudPlatform
+from ..cloud.tiers import NetworkTier
+from ..errors import SpeedTestError
+from ..rng import SeedTree
+from ..simclock import CAMPAIGN_START, SimClock
+from ..speedtest.browser import HeadlessBrowser
+from ..speedtest.catalog import ServerCatalog
+from ..speedtest.protocol import SpeedTestEngine
+from ..units import DAY, HOUR
+from .orchestrator import DeploymentPlan
+from .records import MeasurementRecord, ServerMeta
+from .scheduler import HourlySchedule
+from .tsdb import Table, TimeSeriesDB
+
+__all__ = ["CampaignConfig", "CampaignDataset", "CampaignRunner"]
+
+_FIELDS = ("download", "upload", "latency", "loss_down", "loss_up")
+_TAGS = ("region", "server_id", "tier")
+
+
+@dataclass
+class CampaignConfig:
+    """Campaign length and bookkeeping knobs."""
+
+    days: int = 14
+    start_ts: float = float(CAMPAIGN_START)
+    #: Bill VM hours / egress / storage while running.
+    charge_billing: bool = True
+    #: Charge bucket storage monthly (per 30 days).
+    storage_charge_every_days: int = 30
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise ValueError(f"days must be >= 1, got {self.days}")
+        if self.start_ts % HOUR != 0:
+            raise ValueError("start_ts must be hour-aligned")
+
+    @property
+    def end_ts(self) -> float:
+        return self.start_ts + self.days * DAY
+
+    @property
+    def n_hours(self) -> int:
+        return self.days * 24
+
+
+class CampaignDataset:
+    """Collected measurements plus the metadata analyses need."""
+
+    def __init__(self, start_ts: float, end_ts: float) -> None:
+        self.start_ts = start_ts
+        self.end_ts = end_ts
+        self.db = TimeSeriesDB()
+        self.table: Table = self.db.create_table("speedtest", _TAGS, _FIELDS)
+        self.servers: Dict[str, ServerMeta] = {}
+        self.failed_tests = 0
+        self.completed_tests = 0
+
+    # ------------------------------------------------------------------
+
+    def add_server_meta(self, meta: ServerMeta) -> None:
+        self.servers[meta.server_id] = meta
+
+    def server_meta(self, server_id: str) -> ServerMeta:
+        try:
+            return self.servers[server_id]
+        except KeyError:
+            raise KeyError(
+                f"no metadata recorded for server {server_id!r}") from None
+
+    def record(self, rec: MeasurementRecord) -> None:
+        self.table.append(rec.ts,
+                          (rec.region, rec.server_id, rec.tier.value),
+                          (rec.download_mbps, rec.upload_mbps,
+                           rec.latency_ms, rec.download_loss_rate,
+                           rec.upload_loss_rate))
+        self.completed_tests += 1
+
+    # ------------------------------------------------------------------
+    # convenience accessors used throughout the analyses
+
+    def pairs(self, region: Optional[str] = None,
+              tier: Optional[NetworkTier] = None
+              ) -> List[Tuple[str, str, str]]:
+        """(region, server_id, tier) tag tuples with data."""
+        out = []
+        for key in self.table.tag_combinations():
+            if region is not None and key[0] != region:
+                continue
+            if tier is not None and key[2] != tier.value:
+                continue
+            out.append(key)
+        return out
+
+    def series(self, region: str, server_id: str,
+               tier: NetworkTier = NetworkTier.PREMIUM
+               ) -> Dict[str, np.ndarray]:
+        return self.table.series((region, server_id, tier.value))
+
+    def regions(self) -> List[str]:
+        return self.table.distinct("region")
+
+    @property
+    def n_days(self) -> int:
+        return int(round((self.end_ts - self.start_ts) / DAY))
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+class CampaignRunner:
+    """Executes deployment plans hour by hour."""
+
+    def __init__(self, platform: CloudPlatform, catalog: ServerCatalog,
+                 engine: SpeedTestEngine,
+                 seeds: Optional[SeedTree] = None) -> None:
+        self.platform = platform
+        self.catalog = catalog
+        self.engine = engine
+        self.browser = HeadlessBrowser(engine)
+        self._seeds = seeds or SeedTree(0)
+
+    # ------------------------------------------------------------------
+
+    def _build_schedules(self, plans: Sequence[DeploymentPlan]
+                         ) -> List[Tuple[DeploymentPlan, HourlySchedule]]:
+        schedules = []
+        for plan in plans:
+            for vm, server_ids in plan.assignments:
+                schedules.append((plan, HourlySchedule(
+                    vm.name, server_ids,
+                    seeds=self._seeds.child(f"sched-{vm.name}"))))
+        return schedules
+
+    def _register_metadata(self, dataset: CampaignDataset,
+                           plans: Sequence[DeploymentPlan]) -> None:
+        topo = self.platform.topology
+        for plan in plans:
+            for server_id in plan.server_ids:
+                if server_id in dataset.servers:
+                    continue
+                server = self.catalog.get(server_id)
+                city = topo.cities[server.city_key]
+                dataset.add_server_meta(ServerMeta(
+                    server_id=server.server_id,
+                    asn=server.asn,
+                    sponsor=server.sponsor,
+                    city_key=server.city_key,
+                    country=server.country,
+                    utc_offset_hours=city.utc_offset_hours,
+                    lat=server.lat,
+                    lon=server.lon,
+                    business_type=topo.as_of(server.asn)
+                    .as_type.ipinfo_label,
+                ))
+
+    # ------------------------------------------------------------------
+
+    def run(self, plans: Sequence[DeploymentPlan],
+            config: Optional[CampaignConfig] = None) -> CampaignDataset:
+        """Run the whole campaign and return the dataset."""
+        cfg = config or CampaignConfig()
+        dataset = CampaignDataset(cfg.start_ts, cfg.end_ts)
+        self._register_metadata(dataset, plans)
+        schedules = self._build_schedules(plans)
+        vm_by_name = {vm.name: vm
+                      for plan in plans for vm in plan.vms}
+        clock = SimClock(cfg.start_ts)
+        last_storage_charge = cfg.start_ts
+
+        for hour_index in range(cfg.n_hours):
+            hour_start = cfg.start_ts + hour_index * HOUR
+            clock.advance_to(hour_start)
+            for plan, schedule in schedules:
+                vm = vm_by_name[schedule.vm_name]
+                region = plan.region
+                artefact_bytes = 0
+                for slot in schedule.hour_slots(hour_start):
+                    try:
+                        artefacts = self.browser.run_test(
+                            vm, self.catalog.get(slot.server_id), slot.ts)
+                    except SpeedTestError:
+                        dataset.failed_tests += 1
+                        continue
+                    result = artefacts.result
+                    dataset.record(MeasurementRecord.from_result(
+                        result, region, vm.tier))
+                    artefact_bytes += artefacts.upload_size_bytes
+                    if cfg.charge_billing:
+                        # Only egress (the upload phase) is billed.
+                        self.platform.costs.charge_egress(
+                            result.upload_bytes, vm.tier)
+                # Ship the hour's compressed artefacts to the bucket.
+                if artefact_bytes:
+                    plan.bucket.upload(
+                        key=f"{vm.name}/{int(hour_start)}.tar.gz",
+                        size_bytes=artefact_bytes,
+                        ts=schedule.upload_ts(hour_start))
+                    if cfg.charge_billing:
+                        self.platform.costs.charge_intra_region(
+                            artefact_bytes)
+            if cfg.charge_billing:
+                self.platform.charge_vm_uptime(1.0)
+                if (hour_start - last_storage_charge
+                        >= cfg.storage_charge_every_days * DAY):
+                    self.platform.storage.charge_monthly_storage(
+                        months=cfg.storage_charge_every_days / 30.0)
+                    last_storage_charge = hour_start
+        return dataset

@@ -1,0 +1,172 @@
+"""The CLASP facade: one object that runs the whole methodology.
+
+Wires the substrate (cloud platform + server catalogs + tooling) to
+the selection, orchestration, campaign, and analysis stages, so the
+examples and benchmarks read like the paper's workflow:
+
+    clasp = Clasp.build(internet, catalog, seeds)
+    pilot = clasp.select_topology_servers("us-west1")
+    plan = clasp.deploy_topology("us-west1", pilot, budget_servers=106)
+    dataset = clasp.run_campaign([plan], days=14)
+    report = clasp.detect_congestion(dataset)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..cloud.api import CloudPlatform
+from ..cloud.billing import CostTracker
+from ..cloud.tiers import NetworkTier
+from ..netsim.generator import GeneratedInternet
+from ..rng import SeedTree
+from ..simclock import CAMPAIGN_START
+from ..speedtest.catalog import ServerCatalog
+from ..speedtest.protocol import SpeedTestConfig, SpeedTestEngine
+from ..tools.bdrmap import AliasResolver, Bdrmap
+from ..tools.ipinfo import IpInfoDatabase
+from ..tools.prefix2as import Prefix2AS, build_prefix2as
+from ..tools.speedchecker import Speedchecker, TupleMedian
+from ..tools.traceroute import Scamper
+from .campaign import CampaignConfig, CampaignDataset, CampaignRunner
+from .congestion import CongestionReport, PAPER_THRESHOLD, detect
+from .orchestrator import DeploymentPlan, Orchestrator
+from .selection.differential import DifferentialSelection, DifferentialSelector
+from .selection.topology_based import TopologySelection, TopologySelector
+
+__all__ = ["Clasp"]
+
+
+class Clasp:
+    """End-to-end driver of the measurement methodology."""
+
+    def __init__(self, platform: CloudPlatform, catalog: ServerCatalog,
+                 prefix2as: Prefix2AS, scamper: Scamper, bdrmap: Bdrmap,
+                 ipinfo: IpInfoDatabase, speedchecker: Speedchecker,
+                 engine: SpeedTestEngine, seeds: SeedTree) -> None:
+        self.platform = platform
+        self.catalog = catalog
+        self.prefix2as = prefix2as
+        self.scamper = scamper
+        self.bdrmap = bdrmap
+        self.ipinfo = ipinfo
+        self.speedchecker = speedchecker
+        self.engine = engine
+        self.seeds = seeds
+        self.orchestrator = Orchestrator(platform)
+        self.runner = CampaignRunner(platform, catalog, engine,
+                                     seeds=seeds.child("campaign"))
+        self._topology_selections: Dict[str, TopologySelection] = {}
+        self._differential_selections: Dict[str, DifferentialSelection] = {}
+        self._speedchecker_medians: Optional[List[TupleMedian]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def build(cls, internet: GeneratedInternet, catalog: ServerCatalog,
+              seeds: Optional[SeedTree] = None,
+              budget_usd: Optional[float] = None,
+              speedtest_config: Optional[SpeedTestConfig] = None) -> "Clasp":
+        """Assemble a full CLASP stack over a generated Internet."""
+        seeds = seeds or SeedTree(0)
+        costs = CostTracker(budget_usd=budget_usd)
+        platform = CloudPlatform(internet, cost_tracker=costs)
+        p2a = build_prefix2as(internet.topology)
+        scamper = Scamper(internet.topology, platform.router,
+                          platform.evaluator, seeds.child("scamper"))
+        bdr = Bdrmap(internet.topology, scamper, p2a, internet.cloud_asn,
+                     AliasResolver(internet.topology,
+                                   seeds=seeds.child("alias")))
+        ipinfo = IpInfoDatabase(internet.topology, p2a,
+                                seeds=seeds.child("ipinfo"))
+        checker = Speedchecker(platform, seeds=seeds.child("speedchecker"))
+        engine = SpeedTestEngine(platform, speedtest_config,
+                                 seeds=seeds.child("engine"))
+        return cls(platform, catalog, p2a, scamper, bdr, ipinfo, checker,
+                   engine, seeds)
+
+    # ------------------------------------------------------------------
+    # selection
+
+    def select_topology_servers(self, region: str,
+                                ts: float = float(CAMPAIGN_START)
+                                ) -> TopologySelection:
+        """Run (and cache) the topology-based pilot scan for a region."""
+        cached = self._topology_selections.get(region)
+        if cached is not None:
+            return cached
+        selector = TopologySelector(self.bdrmap, self.scamper,
+                                    self.prefix2as, self.catalog)
+        src_pop = self.platform.region_pop(region)
+        selection = selector.run(region, src_pop.pop_id, ts)
+        self._topology_selections[region] = selection
+        return selection
+
+    def speedchecker_medians(self, regions: Sequence[str],
+                             ts: float = float(CAMPAIGN_START)
+                             ) -> List[TupleMedian]:
+        """Run (and cache) the Speedchecker preliminary latency study."""
+        if self._speedchecker_medians is None:
+            self._speedchecker_medians = self.speedchecker.measure(
+                list(regions), start_ts=ts)
+        return self._speedchecker_medians
+
+    def select_differential_servers(self, region: str,
+                                    regions_for_study: Optional[
+                                        Sequence[str]] = None,
+                                    target_count: int = 16,
+                                    ts: float = float(CAMPAIGN_START)
+                                    ) -> DifferentialSelection:
+        """Differential-based selection for one region."""
+        cached = self._differential_selections.get(region)
+        if cached is not None:
+            return cached
+        study_regions = list(regions_for_study or [region])
+        medians = self.speedchecker_medians(study_regions, ts)
+        selector = DifferentialSelector(self.catalog, self.prefix2as)
+        selection = selector.select(medians, region,
+                                    target_count=target_count)
+        self._differential_selections[region] = selection
+        return selection
+
+    # ------------------------------------------------------------------
+    # deployment + campaign
+
+    def deploy_topology(self, region: str, selection: TopologySelection,
+                        budget_servers: Optional[int] = None,
+                        ts: float = float(CAMPAIGN_START)
+                        ) -> DeploymentPlan:
+        return self.orchestrator.deploy_topology(
+            region, selection.selected_ids(), ts,
+            budget_servers=budget_servers)
+
+    def deploy_differential(self, region: str,
+                            selection: DifferentialSelection,
+                            ts: float = float(CAMPAIGN_START)
+                            ) -> DeploymentPlan:
+        return self.orchestrator.deploy_differential(
+            region, selection.server_ids(), ts)
+
+    def run_campaign(self, plans: Sequence[DeploymentPlan],
+                     days: int = 14,
+                     start_ts: float = float(CAMPAIGN_START),
+                     charge_billing: bool = True) -> CampaignDataset:
+        config = CampaignConfig(days=days, start_ts=start_ts,
+                                charge_billing=charge_billing)
+        return self.runner.run(plans, config)
+
+    # ------------------------------------------------------------------
+    # analysis
+
+    def detect_congestion(self, dataset: CampaignDataset,
+                          threshold: float = PAPER_THRESHOLD,
+                          region: Optional[str] = None,
+                          tier: Optional[NetworkTier] = None
+                          ) -> CongestionReport:
+        return detect(dataset, threshold=threshold, region=region,
+                      tier=tier)
+
+    def total_cost_usd(self) -> float:
+        """Money spent so far (VMs + egress + storage)."""
+        return self.platform.costs.total_usd

@@ -1,0 +1,326 @@
+"""Congestion detection from throughput variability (paper section 3.3).
+
+Two normalized metrics drive everything:
+
+* per day: ``V(s, d) = (Tmax(s,d) - Tmin(s,d)) / Tmax(s,d)`` - the
+  normalized peak-to-trough difference of pair *s* on day *d*;
+* per hour: ``V_H(s, t) = (Tmax(s,d) - T(s,t)) / Tmax(s,d)`` - how far
+  the measurement at hour *t* sits below its day's peak.
+
+A day (an *s-day*) is congested when ``V > H``; an hour (an *s-hour*)
+when ``V_H > H``.  The threshold ``H`` is chosen with the elbow method
+on the s-day curve, constrained to label a reasonable portion (<30 %)
+of s-days; the paper lands on ``H = 0.5``.  Days are bucketed in the
+*test server's* local time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cloud.tiers import NetworkTier
+from ..errors import AnalysisError
+from ..units import DAY, HOUR
+from .campaign import CampaignDataset
+
+__all__ = [
+    "PAPER_THRESHOLD",
+    "PairKey",
+    "DayRecord",
+    "CongestionEvent",
+    "CongestionReport",
+    "pair_daily_records",
+    "daily_variability",
+    "hourly_variability",
+    "threshold_sweep",
+    "choose_threshold_elbow",
+    "label_events",
+    "detect",
+]
+
+#: The threshold the paper settles on.
+PAPER_THRESHOLD = 0.5
+
+#: Days with fewer hourly samples than this are skipped (partial days
+#: at campaign edges would otherwise produce bogus variability).
+MIN_SAMPLES_PER_DAY = 8
+
+PairKey = Tuple[str, str, str]  # (region, server_id, tier)
+
+
+@dataclass(frozen=True)
+class DayRecord:
+    """One pair-day: the samples and the derived variability."""
+
+    pair: PairKey
+    day_index: int
+    n_samples: int
+    t_max: float
+    t_min: float
+
+    @property
+    def variability(self) -> float:
+        """V(s, d); zero for a degenerate all-zero day."""
+        if self.t_max <= 0:
+            return 0.0
+        return (self.t_max - self.t_min) / self.t_max
+
+
+@dataclass(frozen=True)
+class CongestionEvent:
+    """A congested s-hour: one measurement >H below its day's peak."""
+
+    pair: PairKey
+    ts: float
+    local_hour: int
+    day_index: int
+    v_h: float
+    throughput_mbps: float
+    day_peak_mbps: float
+
+
+@dataclass
+class CongestionReport:
+    """Full detection output for one metric/threshold."""
+
+    threshold: float
+    metric: str
+    day_records: List[DayRecord] = field(default_factory=list)
+    events: List[CongestionEvent] = field(default_factory=list)
+    #: pair -> number of measured hours
+    pair_hours: Dict[PairKey, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_s_days(self) -> int:
+        return len(self.day_records)
+
+    @property
+    def n_congested_days(self) -> int:
+        return sum(1 for d in self.day_records
+                   if d.variability > self.threshold)
+
+    @property
+    def congested_day_fraction(self) -> float:
+        if not self.day_records:
+            return 0.0
+        return self.n_congested_days / self.n_s_days
+
+    @property
+    def n_s_hours(self) -> int:
+        return sum(self.pair_hours.values())
+
+    @property
+    def congested_hour_fraction(self) -> float:
+        total = self.n_s_hours
+        if total == 0:
+            return 0.0
+        return len(self.events) / total
+
+    def events_of(self, pair: PairKey) -> List[CongestionEvent]:
+        return [e for e in self.events if e.pair == pair]
+
+    def congested_day_count(self, pair: PairKey) -> int:
+        """Days of *pair* having at least one congestion event."""
+        return len({e.day_index for e in self.events if e.pair == pair})
+
+    def measured_day_count(self, pair: PairKey) -> int:
+        return sum(1 for d in self.day_records if d.pair == pair)
+
+    def is_congested_server(self, pair: PairKey,
+                            min_day_fraction: float = 0.10) -> bool:
+        """The paper's "congested" label: >10 % of days have events."""
+        days = self.measured_day_count(pair)
+        if days == 0:
+            return False
+        return self.congested_day_count(pair) / days > min_day_fraction
+
+    def congested_pairs(self, min_day_fraction: float = 0.10
+                        ) -> List[PairKey]:
+        pairs = sorted(self.pair_hours)
+        return [p for p in pairs
+                if self.is_congested_server(p, min_day_fraction)]
+
+
+# ----------------------------------------------------------------------
+# building blocks
+
+
+def _pair_day_buckets(dataset: CampaignDataset, pair: PairKey,
+                      metric: str) -> List[Tuple[int, np.ndarray,
+                                                 np.ndarray]]:
+    """(local day index, ts array, metric array) buckets for one pair."""
+    region, server_id, tier = pair
+    series = dataset.table.series(pair)
+    values = series.get(metric)
+    if values is None:
+        raise AnalysisError(f"unknown metric {metric!r}")
+    offset = dataset.server_meta(server_id).utc_offset_hours
+    local_ts = series["ts"] + offset * HOUR
+    day_idx = ((local_ts - dataset.start_ts) // DAY).astype(int)
+    out = []
+    for day in np.unique(day_idx):
+        mask = day_idx == day
+        out.append((int(day), series["ts"][mask], values[mask]))
+    return out
+
+
+def pair_daily_records(dataset: CampaignDataset, pair: PairKey,
+                       metric: str = "download",
+                       min_samples: int = MIN_SAMPLES_PER_DAY
+                       ) -> List[DayRecord]:
+    """Compute :class:`DayRecord` for every full day of one pair."""
+    records = []
+    for day, _ts, values in _pair_day_buckets(dataset, pair, metric):
+        if len(values) < min_samples:
+            continue
+        records.append(DayRecord(
+            pair=pair, day_index=day, n_samples=len(values),
+            t_max=float(values.max()), t_min=float(values.min())))
+    return records
+
+
+def daily_variability(dataset: CampaignDataset,
+                      region: Optional[str] = None,
+                      tier: Optional[NetworkTier] = None,
+                      metric: str = "download") -> Dict[PairKey, np.ndarray]:
+    """V(s, d) arrays per pair (one value per full measured day)."""
+    out: Dict[PairKey, np.ndarray] = {}
+    for pair in dataset.pairs(region=region, tier=tier):
+        records = pair_daily_records(dataset, pair, metric)
+        if records:
+            out[pair] = np.array([r.variability for r in records])
+    return out
+
+
+def hourly_variability(dataset: CampaignDataset, pair: PairKey,
+                       metric: str = "download",
+                       min_samples: int = MIN_SAMPLES_PER_DAY
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """(ts, V_H) arrays for one pair across all its full days."""
+    ts_all: List[np.ndarray] = []
+    vh_all: List[np.ndarray] = []
+    for _day, ts, values in _pair_day_buckets(dataset, pair, metric):
+        if len(values) < min_samples:
+            continue
+        peak = values.max()
+        if peak <= 0:
+            continue
+        ts_all.append(ts)
+        vh_all.append((peak - values) / peak)
+    if not ts_all:
+        return np.array([]), np.array([])
+    ts_cat = np.concatenate(ts_all)
+    vh_cat = np.concatenate(vh_all)
+    order = np.argsort(ts_cat, kind="stable")
+    return ts_cat[order], vh_cat[order]
+
+
+# ----------------------------------------------------------------------
+# threshold selection
+
+
+def threshold_sweep(dataset: CampaignDataset,
+                    thresholds: Sequence[float],
+                    region: Optional[str] = None,
+                    tier: Optional[NetworkTier] = None,
+                    metric: str = "download"
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(H values, congested s-day fraction, congested s-hour fraction).
+
+    The curves behind the paper's Fig. 2a / 2b.
+    """
+    hs = np.asarray(list(thresholds), dtype=float)
+    if hs.size == 0:
+        raise AnalysisError("threshold sweep needs at least one H")
+    v_days: List[float] = []
+    v_hours: List[float] = []
+    for pair in dataset.pairs(region=region, tier=tier):
+        for record in pair_daily_records(dataset, pair, metric):
+            v_days.append(record.variability)
+        _ts, vh = hourly_variability(dataset, pair, metric)
+        v_hours.extend(vh.tolist())
+    day_arr = np.asarray(v_days)
+    hour_arr = np.asarray(v_hours)
+    if day_arr.size == 0:
+        raise AnalysisError("no full pair-days to sweep over")
+    day_frac = np.array([(day_arr > h).mean() for h in hs])
+    hour_frac = np.array([(hour_arr > h).mean() for h in hs])
+    return hs, day_frac, hour_frac
+
+
+def choose_threshold_elbow(thresholds: np.ndarray,
+                           fractions: np.ndarray,
+                           max_label_fraction: float = 0.30) -> float:
+    """Elbow of the labeled-fraction curve, capped by a sanity bound.
+
+    The elbow is the point of maximum distance from the chord joining
+    the curve's endpoints; if the elbow still labels more than
+    *max_label_fraction* of s-days, advance along the curve to the
+    first threshold that does not.
+    """
+    h = np.asarray(thresholds, dtype=float)
+    f = np.asarray(fractions, dtype=float)
+    if h.size < 3:
+        raise AnalysisError("elbow method needs at least 3 thresholds")
+    if h.size != f.size:
+        raise AnalysisError("thresholds/fractions length mismatch")
+    order = np.argsort(h)
+    h, f = h[order], f[order]
+    # Normalize both axes so distance is scale-free.
+    h_n = (h - h[0]) / max(h[-1] - h[0], 1e-12)
+    f_n = (f - f[-1]) / max(f[0] - f[-1], 1e-12)
+    # Chord from (0, f_n[0]) to (1, f_n[-1]) == (0,1)..(1,0).
+    distances = np.abs(h_n + f_n - 1.0) / np.sqrt(2.0)
+    elbow_idx = int(np.argmax(distances))
+    idx = elbow_idx
+    while idx < h.size - 1 and f[idx] > max_label_fraction:
+        idx += 1
+    return float(h[idx])
+
+
+# ----------------------------------------------------------------------
+# event labeling
+
+
+def label_events(dataset: CampaignDataset, pair: PairKey,
+                 threshold: float = PAPER_THRESHOLD,
+                 metric: str = "download") -> List[CongestionEvent]:
+    """All congested s-hours of one pair."""
+    region, server_id, tier = pair
+    offset = dataset.server_meta(server_id).utc_offset_hours
+    events: List[CongestionEvent] = []
+    for day, ts, values in _pair_day_buckets(dataset, pair, metric):
+        if len(values) < MIN_SAMPLES_PER_DAY:
+            continue
+        peak = float(values.max())
+        if peak <= 0:
+            continue
+        vh = (peak - values) / peak
+        for i in np.nonzero(vh > threshold)[0]:
+            local_hour = int(((ts[i] + offset * HOUR) // HOUR) % 24)
+            events.append(CongestionEvent(
+                pair=pair, ts=float(ts[i]), local_hour=local_hour,
+                day_index=day, v_h=float(vh[i]),
+                throughput_mbps=float(values[i]), day_peak_mbps=peak))
+    return events
+
+
+def detect(dataset: CampaignDataset,
+           threshold: float = PAPER_THRESHOLD,
+           region: Optional[str] = None,
+           tier: Optional[NetworkTier] = None,
+           metric: str = "download") -> CongestionReport:
+    """Full detection pass over (a slice of) a dataset."""
+    report = CongestionReport(threshold=threshold, metric=metric)
+    for pair in dataset.pairs(region=region, tier=tier):
+        records = pair_daily_records(dataset, pair, metric)
+        report.day_records.extend(records)
+        _ts, vh = hourly_variability(dataset, pair, metric)
+        report.pair_hours[pair] = int(vh.size)
+        report.events.extend(label_events(dataset, pair, threshold, metric))
+    return report

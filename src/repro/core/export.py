@@ -1,0 +1,133 @@
+"""Dataset export / import.
+
+The paper released CLASP's source and data publicly; this module is
+the reproduction's equivalent: a campaign dataset round-trips through
+a documented on-disk layout so analyses can run outside this package.
+
+Layout of an export directory::
+
+    manifest.json            # schema version, campaign window, counts
+    servers.json             # per-server metadata (ServerMeta fields)
+    measurements.csv         # one row per test, tagged columns
+
+CSV columns: ``ts, region, server_id, tier, download_mbps,
+upload_mbps, latency_ms, download_loss_rate, upload_loss_rate``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Union
+
+from ..cloud.tiers import NetworkTier
+from ..errors import AnalysisError
+from .campaign import CampaignDataset
+from .records import MeasurementRecord, ServerMeta
+
+__all__ = ["export_dataset", "load_dataset", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+_CSV_COLUMNS = ("ts", "region", "server_id", "tier", "download_mbps",
+                "upload_mbps", "latency_ms", "download_loss_rate",
+                "upload_loss_rate")
+
+
+def export_dataset(dataset: CampaignDataset,
+                   directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a dataset to *directory*; returns the manifest path."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    servers = {
+        server_id: {
+            "server_id": meta.server_id,
+            "asn": meta.asn,
+            "sponsor": meta.sponsor,
+            "city_key": meta.city_key,
+            "country": meta.country,
+            "utc_offset_hours": meta.utc_offset_hours,
+            "lat": meta.lat,
+            "lon": meta.lon,
+            "business_type": meta.business_type,
+        }
+        for server_id, meta in sorted(dataset.servers.items())
+    }
+    (path / "servers.json").write_text(
+        json.dumps(servers, indent=1, sort_keys=True), encoding="utf-8")
+
+    n_rows = 0
+    with open(path / "measurements.csv", "w", newline="",
+              encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_COLUMNS)
+        for tags in dataset.table.tag_combinations():
+            region, server_id, tier = tags
+            series = dataset.table.series(tags)
+            for i in range(series["ts"].size):
+                writer.writerow([
+                    f"{series['ts'][i]:.0f}", region, server_id, tier,
+                    f"{series['download'][i]:.3f}",
+                    f"{series['upload'][i]:.3f}",
+                    f"{series['latency'][i]:.3f}",
+                    f"{series['loss_down'][i]:.6g}",
+                    f"{series['loss_up'][i]:.6g}",
+                ])
+                n_rows += 1
+
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "start_ts": dataset.start_ts,
+        "end_ts": dataset.end_ts,
+        "n_measurements": n_rows,
+        "n_servers": len(servers),
+        "completed_tests": dataset.completed_tests,
+        "failed_tests": dataset.failed_tests,
+    }
+    manifest_path = path / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=1,
+                                        sort_keys=True),
+                             encoding="utf-8")
+    return manifest_path
+
+
+def load_dataset(directory: Union[str, pathlib.Path]) -> CampaignDataset:
+    """Rebuild a :class:`CampaignDataset` from an export directory."""
+    path = pathlib.Path(directory)
+    manifest_path = path / "manifest.json"
+    if not manifest_path.exists():
+        raise AnalysisError(f"no manifest.json under {path}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("schema_version") != SCHEMA_VERSION:
+        raise AnalysisError(
+            f"unsupported schema version "
+            f"{manifest.get('schema_version')!r}")
+
+    dataset = CampaignDataset(manifest["start_ts"], manifest["end_ts"])
+    servers = json.loads((path / "servers.json")
+                         .read_text(encoding="utf-8"))
+    for raw in servers.values():
+        dataset.add_server_meta(ServerMeta(**raw))
+
+    with open(path / "measurements.csv", newline="",
+              encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if tuple(reader.fieldnames or ()) != _CSV_COLUMNS:
+            raise AnalysisError("measurements.csv column mismatch")
+        for row in reader:
+            dataset.record(MeasurementRecord(
+                ts=float(row["ts"]),
+                region=row["region"],
+                vm_name="",
+                server_id=row["server_id"],
+                tier=NetworkTier(row["tier"]),
+                download_mbps=float(row["download_mbps"]),
+                upload_mbps=float(row["upload_mbps"]),
+                latency_ms=float(row["latency_ms"]),
+                download_loss_rate=float(row["download_loss_rate"]),
+                upload_loss_rate=float(row["upload_loss_rate"]),
+            ))
+    dataset.failed_tests = int(manifest.get("failed_tests", 0))
+    return dataset

@@ -1,0 +1,149 @@
+"""Measurement VM orchestration.
+
+Given selected server lists, the orchestrator sizes the deployment
+(each VM performs at most 17 tests per hour: up to 120 s per test,
+plus a 20-minute traceroute budget and 5 minutes for result upload),
+creates VMs spread across availability zones, applies the 1 Gbps /
+100 Mbps ``tc`` shaping, provisions the regional storage bucket, and
+assigns each VM its server list.  Differential regions get a *pair* of
+VMs (premium + standard) per server list.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..cloud.api import CloudPlatform
+from ..cloud.storage import StorageBucket
+from ..cloud.tiers import NetworkTier
+from ..cloud.vm import VirtualMachine
+from ..errors import SchedulingError
+
+__all__ = ["DeploymentPlan", "Orchestrator", "TESTS_PER_VM_HOUR"]
+
+#: 17 tests x 120 s = 34 min, + 20 min of traceroutes + 5 min upload
+#: fits in one hour; the 18th test would not.
+TESTS_PER_VM_HOUR = 17
+
+#: CLASP's tc shaping (asymmetric: only egress is billed).
+DOWNLINK_CAP_MBPS = 1000.0
+UPLINK_CAP_MBPS = 100.0
+
+#: The VM type the paper used.
+DEFAULT_MACHINE_TYPE = "n1-standard-2"
+
+
+@dataclass
+class DeploymentPlan:
+    """What got deployed in one region."""
+
+    region: str
+    bucket: StorageBucket
+    #: (vm, the server ids it measures hourly)
+    assignments: List[Tuple[VirtualMachine, List[str]]] = \
+        field(default_factory=list)
+
+    @property
+    def vms(self) -> List[VirtualMachine]:
+        return [vm for vm, _ids in self.assignments]
+
+    @property
+    def server_ids(self) -> List[str]:
+        out: List[str] = []
+        for _vm, ids in self.assignments:
+            out.extend(ids)
+        return out
+
+    def servers_of(self, vm_name: str) -> List[str]:
+        for vm, ids in self.assignments:
+            if vm.name == vm_name:
+                return list(ids)
+        raise SchedulingError(f"VM {vm_name!r} not in plan for {self.region}")
+
+
+class Orchestrator:
+    """Creates and wires up the measurement deployment."""
+
+    def __init__(self, platform: CloudPlatform,
+                 machine_type: str = DEFAULT_MACHINE_TYPE) -> None:
+        self.platform = platform
+        self.machine_type = machine_type
+        self._deployment_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def vms_needed(n_servers: int) -> int:
+        """Measurement VMs needed for hourly coverage of *n_servers*."""
+        if n_servers < 1:
+            raise SchedulingError(
+                f"cannot plan a deployment for {n_servers} servers")
+        return math.ceil(n_servers / TESTS_PER_VM_HOUR)
+
+    def _new_vm(self, region: str, tier: NetworkTier, ts: float,
+                suffix: str) -> VirtualMachine:
+        vm = self.platform.create_vm(
+            region, self.machine_type, tier, ts,
+            name=f"clasp-{region}-{tier.value}-{suffix}")
+        vm.nic.apply_tc(ingress_mbps=DOWNLINK_CAP_MBPS,
+                        egress_mbps=UPLINK_CAP_MBPS)
+        return vm
+
+    def _bucket(self, region: str) -> StorageBucket:
+        name = f"clasp-results-{region}"
+        try:
+            return self.platform.storage.bucket(name)
+        except Exception:
+            return self.platform.storage.create_bucket(name, region)
+
+    # ------------------------------------------------------------------
+
+    def deploy_topology(self, region: str, server_ids: Sequence[str],
+                        ts: float,
+                        budget_servers: Optional[int] = None
+                        ) -> DeploymentPlan:
+        """Deploy premium-tier VMs for a topology-based server list.
+
+        *budget_servers* truncates the list (the paper measured only a
+        subset in us-west2/us-east4/us-central1 for cost reasons).
+        """
+        ids = list(server_ids)
+        if budget_servers is not None:
+            ids = ids[:budget_servers]
+        if not ids:
+            raise SchedulingError(f"empty server list for {region}")
+        plan = DeploymentPlan(region=region, bucket=self._bucket(region))
+        deployment = next(self._deployment_counter)
+        n_vms = self.vms_needed(len(ids))
+        for i in range(n_vms):
+            chunk = ids[i * TESTS_PER_VM_HOUR:(i + 1) * TESTS_PER_VM_HOUR]
+            vm = self._new_vm(region, NetworkTier.PREMIUM, ts,
+                              f"d{deployment:02d}-{i + 1:02d}")
+            plan.assignments.append((vm, chunk))
+        return plan
+
+    def deploy_differential(self, region: str, server_ids: Sequence[str],
+                            ts: float) -> DeploymentPlan:
+        """Deploy one premium + one standard VM measuring the same list."""
+        ids = list(server_ids)
+        if not ids:
+            raise SchedulingError(f"empty server list for {region}")
+        if len(ids) > TESTS_PER_VM_HOUR:
+            raise SchedulingError(
+                f"differential list for {region} exceeds one VM-hour "
+                f"({len(ids)} > {TESTS_PER_VM_HOUR})")
+        plan = DeploymentPlan(region=region, bucket=self._bucket(region))
+        deployment = next(self._deployment_counter)
+        for tier in (NetworkTier.PREMIUM, NetworkTier.STANDARD):
+            vm = self._new_vm(region, tier, ts, f"d{deployment:02d}-pair")
+            plan.assignments.append((vm, list(ids)))
+        return plan
+
+    def teardown(self, plan: DeploymentPlan, ts: float) -> None:
+        """Terminate every VM in a plan (end of campaign)."""
+        for vm in plan.vms:
+            if vm.is_running:
+                self.platform.terminate_vm(vm.name, ts)

@@ -1,0 +1,109 @@
+"""The analysis-VM data pipeline.
+
+In the paper, raw artefacts (pcaps, browser captures) land in the
+regional bucket; an analysis VM *in the same region* (to avoid
+cross-region transfer charges) identifies the HTTP transactions in the
+encrypted traffic, estimates RTT and loss from the TCP flows, and
+indexes processed results into InfluxDB.
+
+:class:`AnalysisPipeline` reproduces that stage at full fidelity: it
+reconstructs per-connection flow statistics for a test, runs the
+RTT/loss estimators over them, and emits a processed
+:class:`~repro.core.records.MeasurementRecord` whose loss/latency come
+from the *estimators*, not from the simulator's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..cloud.api import CloudPlatform, Direction
+from ..cloud.vm import VirtualMachine
+from ..rng import SeedTree
+from ..speedtest.browser import BrowserArtifacts
+from ..speedtest.catalog import ServerCatalog
+from ..speedtest.protocol import SpeedTestConfig
+from ..tools.flows import (
+    FlowCapture,
+    TcpFlow,
+    estimate_loss_rate,
+    estimate_rtt_ms,
+)
+from .records import MeasurementRecord
+
+__all__ = ["ProcessedTest", "AnalysisPipeline"]
+
+
+@dataclass(frozen=True)
+class ProcessedTest:
+    """Pipeline output: the record plus the evidence it derived from."""
+
+    record: MeasurementRecord
+    download_flows: Tuple[TcpFlow, ...]
+    upload_flows: Tuple[TcpFlow, ...]
+    estimated_rtt_ms: float
+    estimated_download_loss: float
+    estimated_upload_loss: float
+
+
+class AnalysisPipeline:
+    """Flow-level processing of raw test artefacts."""
+
+    def __init__(self, platform: CloudPlatform, catalog: ServerCatalog,
+                 config: Optional[SpeedTestConfig] = None,
+                 seeds: Optional[SeedTree] = None) -> None:
+        self.platform = platform
+        self.catalog = catalog
+        self.config = config or SpeedTestConfig()
+        self._capture = FlowCapture(seeds=(seeds or SeedTree(0))
+                                    .child("pipeline"))
+
+    def process(self, vm: VirtualMachine, artefacts: BrowserArtifacts,
+                region: str) -> ProcessedTest:
+        """Process one test's artefacts into an indexed record."""
+        result = artefacts.result
+        server = self.catalog.get(result.server_id)
+
+        down_route, down_ack = self.platform.route_pair(
+            vm, server.host_pop_id, Direction.INGRESS)
+        up_route, up_ack = self.platform.route_pair(
+            vm, server.host_pop_id, Direction.EGRESS)
+        down_metrics = self.platform.path_model.evaluate(
+            down_route, result.ts, down_ack)
+        up_metrics = self.platform.path_model.evaluate(
+            up_route, result.ts, up_ack)
+
+        down_flows = self._capture.capture(
+            down_metrics, result.download_bytes,
+            self.config.download_duration_s,
+            self.config.n_flows, "download")
+        up_flows = self._capture.capture(
+            up_metrics, result.upload_bytes,
+            self.config.upload_duration_s,
+            self.config.n_flows, "upload")
+
+        rtt = estimate_rtt_ms(down_flows + up_flows)
+        down_loss = estimate_loss_rate(down_flows)
+        up_loss = estimate_loss_rate(up_flows)
+
+        record = MeasurementRecord(
+            ts=result.ts,
+            region=region,
+            vm_name=vm.name,
+            server_id=result.server_id,
+            tier=vm.tier,
+            download_mbps=result.download_mbps,
+            upload_mbps=result.upload_mbps,
+            latency_ms=result.latency_ms,
+            download_loss_rate=down_loss,
+            upload_loss_rate=up_loss,
+        )
+        return ProcessedTest(
+            record=record,
+            download_flows=tuple(down_flows),
+            upload_flows=tuple(up_flows),
+            estimated_rtt_ms=rtt,
+            estimated_download_loss=down_loss,
+            estimated_upload_loss=up_loss,
+        )

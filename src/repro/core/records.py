@@ -1,0 +1,71 @@
+"""Measurement records and server metadata.
+
+:class:`MeasurementRecord` is the processed, analysis-ready form of one
+speed test (what the analysis VM writes into the time-series store);
+:class:`ServerMeta` carries the per-server context analyses need
+(timezone for local-hour conversion, AS for grouping, business type
+for Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cloud.tiers import NetworkTier
+from ..speedtest.protocol import SpeedTestResult
+
+__all__ = ["MeasurementRecord", "ServerMeta"]
+
+
+@dataclass(frozen=True)
+class ServerMeta:
+    """Analysis-facing metadata of one measured test server."""
+
+    server_id: str
+    asn: int
+    sponsor: str
+    city_key: str
+    country: str
+    utc_offset_hours: float
+    lat: float
+    lon: float
+    business_type: str = "unknown"
+
+    @property
+    def label(self) -> str:
+        """"<City>-<Network>" label used in the paper's Fig. 6."""
+        city = self.city_key.rsplit(",", 1)[0]
+        return f"{city}-{self.sponsor}"
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One processed speed test measurement."""
+
+    ts: float
+    region: str
+    vm_name: str
+    server_id: str
+    tier: NetworkTier
+    download_mbps: float
+    upload_mbps: float
+    latency_ms: float
+    download_loss_rate: float
+    upload_loss_rate: float
+
+    @classmethod
+    def from_result(cls, result: SpeedTestResult, region: str,
+                    tier: NetworkTier) -> "MeasurementRecord":
+        """Flatten an engine result into the analysis record."""
+        return cls(
+            ts=result.ts,
+            region=region,
+            vm_name=result.vm_name,
+            server_id=result.server_id,
+            tier=tier,
+            download_mbps=result.download_mbps,
+            upload_mbps=result.upload_mbps,
+            latency_ms=result.latency_ms,
+            download_loss_rate=result.download_loss_rate,
+            upload_loss_rate=result.upload_loss_rate,
+        )

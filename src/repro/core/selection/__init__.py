@@ -1,0 +1,15 @@
+"""Server selection: topology-based and differential-based methods."""
+
+from .topology_based import SelectedServer, TopologySelection, TopologySelector
+from .differential import (
+    DifferentialCandidate,
+    DifferentialSelection,
+    DifferentialSelector,
+    LatencyClass,
+)
+
+__all__ = [
+    "SelectedServer", "TopologySelection", "TopologySelector",
+    "DifferentialCandidate", "DifferentialSelection",
+    "DifferentialSelector", "LatencyClass",
+]

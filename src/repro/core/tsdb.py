@@ -1,0 +1,166 @@
+"""A small tag-indexed time-series store (the InfluxDB substitute).
+
+Rows are appended as ``(ts, tags, fields)``; storage is columnar per
+distinct tag tuple, so group-by-tags queries (the only kind the
+analyses need) are O(1) lookups returning numpy arrays.  Tag values are
+strings, field values floats, timestamps simulated epoch seconds.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TSDBError
+
+__all__ = ["Table", "TimeSeriesDB"]
+
+
+class _SeriesBuffer:
+    """Append-only columnar buffer for one tag combination."""
+
+    __slots__ = ("ts", "fields")
+
+    def __init__(self, n_fields: int) -> None:
+        self.ts = array("d")
+        self.fields = [array("d") for _ in range(n_fields)]
+
+    def append(self, ts: float, values: Sequence[float]) -> None:
+        self.ts.append(ts)
+        for column, value in zip(self.fields, values):
+            column.append(value)
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+
+class Table:
+    """One measurement table with fixed tag and field schemas."""
+
+    def __init__(self, name: str, tag_names: Sequence[str],
+                 field_names: Sequence[str]) -> None:
+        if not field_names:
+            raise TSDBError(f"table {name!r} needs at least one field")
+        if len(set(tag_names)) != len(tag_names):
+            raise TSDBError(f"table {name!r} has duplicate tag names")
+        if len(set(field_names)) != len(field_names):
+            raise TSDBError(f"table {name!r} has duplicate field names")
+        self.name = name
+        self.tag_names = tuple(tag_names)
+        self.field_names = tuple(field_names)
+        self._field_index = {n: i for i, n in enumerate(field_names)}
+        self._series: Dict[Tuple[str, ...], _SeriesBuffer] = {}
+
+    # ------------------------------------------------------------------
+    # writes
+
+    def append(self, ts: float, tags: Sequence[str],
+               fields: Sequence[float]) -> None:
+        """Append one row."""
+        if len(tags) != len(self.tag_names):
+            raise TSDBError(
+                f"expected {len(self.tag_names)} tags, got {len(tags)}")
+        if len(fields) != len(self.field_names):
+            raise TSDBError(
+                f"expected {len(self.field_names)} fields, got {len(fields)}")
+        key = tuple(tags)
+        buf = self._series.get(key)
+        if buf is None:
+            buf = _SeriesBuffer(len(self.field_names))
+            self._series[key] = buf
+        buf.append(ts, fields)
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def tag_combinations(self) -> List[Tuple[str, ...]]:
+        """All distinct tag tuples, sorted."""
+        return sorted(self._series)
+
+    def distinct(self, tag_name: str) -> List[str]:
+        """Distinct values of one tag across all series."""
+        idx = self._tag_index(tag_name)
+        return sorted({key[idx] for key in self._series})
+
+    def _tag_index(self, tag_name: str) -> int:
+        try:
+            return self.tag_names.index(tag_name)
+        except ValueError:
+            raise TSDBError(
+                f"table {self.name!r} has no tag {tag_name!r}") from None
+
+    def series(self, tags: Sequence[str]) -> Dict[str, np.ndarray]:
+        """The full series for one exact tag tuple.
+
+        Returns a dict with key ``"ts"`` plus one key per field; arrays
+        are copies, sorted by timestamp.
+        """
+        key = tuple(tags)
+        buf = self._series.get(key)
+        if buf is None:
+            raise TSDBError(
+                f"no series for tags {key!r} in table {self.name!r}")
+        ts = np.asarray(buf.ts, dtype=float)
+        order = np.argsort(ts, kind="stable")
+        out: Dict[str, np.ndarray] = {"ts": ts[order]}
+        for name, column in zip(self.field_names, buf.fields):
+            out[name] = np.asarray(column, dtype=float)[order]
+        return out
+
+    def select(self, **tag_filters: str
+               ) -> Iterator[Tuple[Tuple[str, ...], Dict[str, np.ndarray]]]:
+        """Iterate (tag tuple, series) for series matching the filters.
+
+        Filters are exact tag-value matches, e.g.
+        ``table.select(region="us-west1", tier="premium")``.
+        """
+        for name in tag_filters:
+            self._tag_index(name)  # validate names eagerly
+        indices = {name: self._tag_index(name) for name in tag_filters}
+        for key in self.tag_combinations():
+            if all(key[idx] == value
+                   for name, value in tag_filters.items()
+                   for idx in [indices[name]]):
+                yield key, self.series(key)
+
+    def count(self, **tag_filters: str) -> int:
+        """Number of rows matching the filters."""
+        total = 0
+        indices = {name: self._tag_index(name) for name in tag_filters}
+        for key, buf in self._series.items():
+            if all(key[indices[name]] == value
+                   for name, value in tag_filters.items()):
+                total += len(buf)
+        return total
+
+    def __len__(self) -> int:
+        return sum(len(buf) for buf in self._series.values())
+
+
+class TimeSeriesDB:
+    """A named collection of tables."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str, tag_names: Sequence[str],
+                     field_names: Sequence[str]) -> Table:
+        if name in self._tables:
+            raise TSDBError(f"table {name!r} already exists")
+        table = Table(name, tag_names, field_names)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TSDBError(f"unknown table {name!r}") from None
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables

@@ -1,0 +1,98 @@
+"""Exception hierarchy for the CLASP reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at the boundary.  Subsystems raise the more
+specific subclasses below; the class an error belongs to tells you which
+layer failed (simulation substrate, cloud platform, measurement tooling,
+or the CLASP core itself).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "AddressingError",
+    "TopologyError",
+    "RoutingError",
+    "NoRouteError",
+    "CloudError",
+    "QuotaExceededError",
+    "BudgetExhaustedError",
+    "StorageError",
+    "MeasurementError",
+    "SpeedTestError",
+    "SchedulingError",
+    "SelectionError",
+    "AnalysisError",
+    "TSDBError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class AddressingError(ReproError):
+    """Invalid IPv4 address/prefix arithmetic or an exhausted allocator."""
+
+
+class TopologyError(ReproError):
+    """The network topology is malformed (unknown AS, dangling link, ...)."""
+
+
+class RoutingError(ReproError):
+    """Route computation failed for a reason other than unreachability."""
+
+
+class NoRouteError(RoutingError):
+    """No policy-compliant route exists between the requested endpoints."""
+
+    def __init__(self, src: object, dst: object) -> None:
+        super().__init__(f"no valley-free route from {src!r} to {dst!r}")
+        self.src = src
+        self.dst = dst
+
+
+class CloudError(ReproError):
+    """Cloud-platform operation failed (VM lifecycle, tier config, ...)."""
+
+
+class QuotaExceededError(CloudError):
+    """A per-project cloud resource quota would be exceeded."""
+
+
+class BudgetExhaustedError(CloudError):
+    """The monetary measurement budget has been spent."""
+
+
+class StorageError(CloudError):
+    """Storage-bucket operation failed (missing object, bad key, ...)."""
+
+
+class MeasurementError(ReproError):
+    """A measurement tool (traceroute, bdrmap, flow capture) failed."""
+
+
+class SpeedTestError(MeasurementError):
+    """A speed test could not be completed against the target server."""
+
+
+class SchedulingError(ReproError):
+    """The measurement schedule is infeasible (too many tests per hour)."""
+
+
+class SelectionError(ReproError):
+    """Server selection could not satisfy its constraints."""
+
+
+class AnalysisError(ReproError):
+    """Post-processing/analysis was asked for something impossible."""
+
+
+class TSDBError(ReproError):
+    """Time-series store was queried or written incorrectly."""

@@ -1,0 +1,290 @@
+"""The paper scenario: a calibrated world + CLASP stack.
+
+Builds the synthetic Internet at (a scale of) the paper's dimensions,
+installs the named "story" networks behind the paper's Section 4
+anecdotes, deploys the speed test catalogs, and assembles the CLASP
+facade.  The differential-tier story (premium-tier loss to a subset of
+targets, standard-tier congestion for some) is applied *after* the
+differential selection, via :func:`apply_differential_story`.
+
+Story networks (all fictional names; the paper's originals in
+parentheses):
+
+* ``Coxcast Cable`` (Cox) - Southern California / Nevada ISP whose
+  interconnects congest during the daytime.
+* ``Smarterbroadband Rural`` (Smarterbroadband) - small ISP congested
+  essentially all day.
+* ``unWired Plains Broadband`` / ``Suddenlink Valley`` - western ISPs
+  with classic evening peaks.
+* ``Cogitant Communications`` (Cogent) - a tier-1 transit whose
+  interconnection with the cloud congests in FCC peak hours; hosting
+  networks reached through it inherit the evening congestion.
+* ``Vortex Netsol`` / ``Joister Broadband`` (India) and ``Telstar
+  Pacific`` (Australia) - differential-based targets with higher
+  congestion on the standard tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+from ..cloud.regions import (
+    PAPER_DIFFERENTIAL_REGIONS,
+    PAPER_TABLE1_REGIONS,
+    PAPER_US_REGIONS,
+)
+from ..core.clasp import Clasp
+from ..core.selection.differential import DifferentialSelection
+from ..netsim.generator import (
+    GeneratedInternet,
+    GeneratorConfig,
+    TopologyGenerator,
+)
+from ..netsim.traffic import DiurnalBump, DiurnalProfile
+from ..rng import SeedTree
+from ..speedtest.catalog import CatalogConfig, ServerCatalog, build_catalog
+from ..speedtest.protocol import SpeedTestConfig
+
+__all__ = [
+    "ScenarioConfig",
+    "Scenario",
+    "build_scenario",
+    "apply_differential_story",
+]
+
+
+@dataclass
+class ScenarioConfig:
+    """Size and realism knobs for the scenario."""
+
+    seed: int = 7
+    #: Scales AS and server counts; 1.0 is the paper's dimensions.
+    scale: float = 1.0
+    #: Install the named story networks.
+    stories: bool = True
+    #: Monetary budget for the cost tracker (None = unlimited).
+    budget_usd: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.02 <= self.scale <= 4.0:
+            raise ValueError(f"scale out of range: {self.scale}")
+
+
+@dataclass
+class Scenario:
+    """Everything an experiment needs."""
+
+    config: ScenarioConfig
+    seeds: SeedTree
+    internet: GeneratedInternet
+    catalog: ServerCatalog
+    clasp: Clasp
+    #: story label -> ASN
+    story_asns: Dict[str, int] = field(default_factory=dict)
+
+    # Paper region groups, re-exported for experiment code.
+    us_regions: Tuple[str, ...] = PAPER_US_REGIONS
+    table1_regions: Tuple[str, ...] = PAPER_TABLE1_REGIONS
+    differential_regions: Tuple[str, ...] = PAPER_DIFFERENTIAL_REGIONS
+
+
+def _scaled_generator_config(scale: float) -> GeneratorConfig:
+    base = GeneratorConfig()
+    if scale == 1.0:
+        return base
+
+    def s(n: int, minimum: int) -> int:
+        return max(minimum, int(round(n * scale)))
+
+    return GeneratorConfig(
+        n_tier1=s(base.n_tier1, 4),
+        n_transit=s(base.n_transit, 6),
+        n_access_isp=s(base.n_access_isp, 24),
+        n_big_isp=s(base.n_big_isp, 3),
+        n_hosting=s(base.n_hosting, 8),
+        n_education=s(base.n_education, 3),
+        n_business=s(base.n_business, 4),
+    )
+
+
+def _scaled_catalog_config(scale: float) -> CatalogConfig:
+    base = CatalogConfig()
+    if scale == 1.0:
+        return base
+    return CatalogConfig(
+        n_us_servers=max(40, int(round(base.n_us_servers * scale))),
+        n_global_servers=max(20, int(round(base.n_global_servers * scale))),
+    )
+
+
+def _install_stories(gen: TopologyGenerator,
+                     net: GeneratedInternet) -> Dict[str, int]:
+    """Create the named networks and their congestion shapes."""
+    topo = net.topology
+    stories: Dict[str, int] = {}
+
+    cox = gen.add_story_isp(
+        net, "Coxcast Cable",
+        home_city_keys=["San Diego, US", "Los Angeles, US", "Las Vegas, US"],
+        congestion="daytime", parallel=(3, 5))
+    stories["cox"] = cox.asn
+
+    smarter = gen.add_story_isp(
+        net, "Smarterbroadband Rural",
+        home_city_keys=["Sacramento, US"],
+        peering_city_keys=["San Jose, US"],
+        congestion="allday", parallel=(2, 3))
+    stories["smarterbroadband"] = smarter.asn
+
+    unwired = gen.add_story_isp(
+        net, "unWired Plains Broadband",
+        home_city_keys=["Fresno, US"],
+        congestion="evening", parallel=(2, 4))
+    stories["unwired"] = unwired.asn
+
+    suddenlink = gen.add_story_isp(
+        net, "Suddenlink Valley",
+        home_city_keys=["Reno, US", "Phoenix, US"],
+        congestion="evening", parallel=(2, 4))
+    stories["suddenlink"] = suddenlink.asn
+
+    # The Cogent analog: rename one of the cloud's transit providers
+    # and congest the transit-to-cloud interconnect in FCC peak hours.
+    cogitant_asn = net.cloud_transit_asns[0]
+    topo.as_of(cogitant_asn).name = "Cogitant Communications"
+    topo.as_of(cogitant_asn).org = "Cogitant Communications"
+    draw = gen.seeds.generator("story-cogitant")
+    for record in topo.interdomain_between(net.cloud_asn, cogitant_asn):
+        # Only the U.S. interconnects congest (the paper's Cogent
+        # story is a U.S. peak-hour phenomenon); the European gateways
+        # that carry europe-west1's standard-tier ingress stay clean.
+        if not record.city_key.endswith(", US"):
+            continue
+        city = topo.cities[record.city_key]
+        net.utilization.set_profile(record.link_id, 1, DiurnalProfile(
+            base=float(draw.uniform(0.5, 0.6)),
+            bumps=(DiurnalBump(21.0, 3.5, float(draw.uniform(0.5, 0.7))),),
+            utc_offset_hours=city.utc_offset_hours,
+            noise_sigma=0.05))
+    stories["cogitant"] = cogitant_asn
+
+    # Differential-story eyeballs: India and Australia.
+    vortex = gen.add_story_isp(
+        net, "Vortex Netsol", home_city_keys=["Mumbai, IN"],
+        congestion=None, parallel=(2, 3))
+    stories["vortex"] = vortex.asn
+    joister = gen.add_story_isp(
+        net, "Joister Broadband", home_city_keys=["Delhi, IN"],
+        peering_city_keys=["Mumbai, IN"],
+        congestion=None, parallel=(2, 3))
+    stories["joister"] = joister.asn
+    # Telstar's only cloud interconnect is pinned to the U.S. west
+    # coast: the premium path detours badly, producing the
+    # "standard tier latency lower" class.
+    telstar = gen.add_story_isp(
+        net, "Telstar Pacific",
+        home_city_keys=["Sydney, AU", "Melbourne, AU"],
+        peering_city_keys=["Los Angeles, US"],
+        congestion=None, parallel=(2, 3))
+    stories["telstar"] = telstar.asn
+    return stories
+
+
+def build_scenario(seed: int = 7, scale: float = 1.0,
+                   stories: bool = True,
+                   budget_usd: Optional[float] = None,
+                   speedtest_config: Optional[SpeedTestConfig] = None
+                   ) -> Scenario:
+    """Build the full calibrated scenario."""
+    config = ScenarioConfig(seed=seed, scale=scale, stories=stories,
+                            budget_usd=budget_usd)
+    seeds = SeedTree(seed)
+    gen = TopologyGenerator(_scaled_generator_config(scale),
+                            seeds.child("net"))
+    net = gen.generate()
+    story_asns: Dict[str, int] = {}
+    ensure: Dict[int, int] = {}
+    if stories:
+        story_asns = _install_stories(gen, net)
+        ensure = {asn: 3 if label == "cox" else 1
+                  for label, asn in story_asns.items()
+                  if label != "cogitant"}
+    catalog = build_catalog(net, _scaled_catalog_config(scale),
+                            seeds.child("catalog"), ensure_asns=ensure)
+    clasp = Clasp.build(net, catalog, seeds.child("clasp"),
+                        budget_usd=budget_usd,
+                        speedtest_config=speedtest_config)
+    return Scenario(config=config, seeds=seeds, internet=net,
+                    catalog=catalog, clasp=clasp, story_asns=story_asns)
+
+
+def apply_differential_story(scenario: Scenario,
+                             selection: DifferentialSelection,
+                             lossy_targets: int = 8,
+                             standard_congested: int = 3) -> None:
+    """Shape the tier behaviour of the selected differential targets.
+
+    * Every selected target's cloud-peering ingress runs warm (the
+    premium path carries a mild extra loss), which is what made the
+    standard tier's throughput generally higher in the paper.
+    * *lossy_targets* of them run the peering interconnect at or above
+    capacity around the clock: premium-tier loss above 10 %.
+    * *standard_congested* of them get an overloaded evening profile on
+    their transit interconnects instead - congestion that only the
+    standard tier path crosses (Fig. 6c).
+    """
+    net = scenario.internet
+    topo = net.topology
+    draw = scenario.seeds.generator("differential-story")
+    targets = [server for server, _cand in selection.selected]
+
+    lossy_assigned = 0
+    for index, server in enumerate(targets):
+        offset = topo.cities[server.city_key].utc_offset_hours
+        peering = topo.interdomain_between(net.cloud_asn, server.asn)
+        make_lossy = bool(peering) and lossy_assigned < lossy_targets
+        if make_lossy:
+            lossy_assigned += 1
+        # Thin, warm PNI: the premium path is squeezed by the
+        # interconnect's residual capacity around the clock - an
+        # RTT-neutral penalty the standard (transit) path avoids.  The
+        # residual is drawn relative to the server's own per-client
+        # cap, so the premium tier lands consistently (but mildly)
+        # below the standard tier, as the paper observed.  The bursty
+        # targets additionally run much thinner pipes: they are the
+        # servers whose standard tier wins nearly every hour.
+        if make_lossy:
+            squeeze = float(draw.uniform(0.58, 0.68))
+        else:
+            squeeze = float(draw.uniform(0.60, 0.85))
+        base = float(draw.uniform(0.80, 0.86))
+        for record in peering:
+            link = topo.link(record.link_id)
+            link.capacity_mbps = max(
+                200.0, server.effective_cap_mbps * squeeze / (1.0 - base))
+            net.utilization.set_profile(record.link_id, 1, DiurnalProfile(
+                base=base,
+                bumps=(DiurnalBump(14.0, 8.0,
+                                   float(draw.uniform(0.01, 0.04))),),
+                utc_offset_hours=offset,
+                noise_sigma=0.015))
+            if make_lossy:
+                # Micro-burst drops: measured premium-tier loss goes
+                # above 10 % while multi-flow throughput only sags.
+                link.burst_loss = float(draw.uniform(0.09, 0.16))
+        if index >= len(targets) - standard_congested:
+            # Congest the server's transit interconnects in the evening:
+            # only the standard tier crosses them.
+            for provider in topo.providers_of(server.asn):
+                for record in topo.interdomain_between(server.asn,
+                                                       provider):
+                    net.utilization.set_profile(
+                        record.link_id, 0, DiurnalProfile(
+                            base=float(draw.uniform(0.5, 0.6)),
+                            bumps=(DiurnalBump(
+                                21.0, 4.0,
+                                float(draw.uniform(0.5, 0.7))),),
+                            utc_offset_hours=offset,
+                            noise_sigma=0.05))

@@ -1,0 +1,13 @@
+"""Geography substrate: coordinates, distances, delays, and city catalog."""
+
+from .coords import GeoPoint, haversine_km, propagation_delay_ms
+from .cities import City, CityCatalog, default_catalog
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "propagation_delay_ms",
+    "City",
+    "CityCatalog",
+    "default_catalog",
+]

@@ -1,0 +1,55 @@
+"""Geographic coordinates, great-circle distance, and fibre delay."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..units import FIBER_KM_PER_MS, ROUTE_INFLATION
+
+__all__ = ["GeoPoint", "haversine_km", "propagation_delay_ms"]
+
+_EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A latitude/longitude point in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to *other* in kilometres."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points, in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (math.sin(dlat / 2.0) ** 2
+         + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2)
+    return 2.0 * _EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def propagation_delay_ms(a: GeoPoint, b: GeoPoint,
+                         inflation: float = ROUTE_INFLATION) -> float:
+    """One-way fibre propagation delay between two points, in ms.
+
+    *inflation* scales the great-circle distance up to account for the
+    fact that fibre paths are not great circles.  A small floor (0.05 ms)
+    models serialization and local switching even at zero distance.
+    """
+    if inflation < 1.0:
+        raise ValueError(f"route inflation must be >= 1, got {inflation}")
+    km = haversine_km(a, b) * inflation
+    return max(0.05, km / FIBER_KM_PER_MS)

@@ -1,0 +1,153 @@
+"""Instantaneous link state: residual bandwidth, loss, queueing delay.
+
+Given a link's capacity and its background utilization at time *t*
+(from :class:`~repro.netsim.traffic.UtilizationModel`), this module
+computes what a measurement flow experiences on that link:
+
+* **residual bandwidth** - how much of the capacity a new elastic flow
+  set can claim.  Below saturation this is simply the unused capacity;
+  once offered load reaches capacity, loss-based TCP fairness leaves a
+  small contested share rather than exactly zero.
+* **loss rate** - negligible until high utilization, rising steeply as
+  the queue saturates; above capacity the drop rate is the structural
+  overflow fraction ``(u - 1) / u`` plus the queue-full component.
+* **queueing delay** - an M/M/1-flavoured delay that grows with
+  utilization and is capped at the buffer depth (bufferbloat ceiling).
+
+The numbers are per-link; :mod:`repro.netsim.pathmodel` composes them
+along a route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .topology import Link, LinkKind
+from .traffic import UtilizationModel
+
+__all__ = ["LinkObservation", "LinkStateEvaluator"]
+
+#: Utilization where queueing loss begins.
+_LOSS_ONSET = 0.92
+#: Loss rate reached right at u == 1.0 from queue pressure alone.
+_LOSS_AT_CAPACITY = 0.012
+#: Sub-onset loss grows gently with utilization (transient bursts on a
+#: loaded link drop a few packets long before sustained overload);
+#: coefficient of the u^4 term.
+_SUBONSET_COEF = 4e-4
+#: Baseline residual loss floor on any link (bit errors, transient
+#: bursts).  Paths accumulate a few of these, giving healthy paths the
+#: 1e-4 .. 1e-3 loss regime that bounds TCP throughput below link rate.
+_FLOOR_LOSS = {
+    LinkKind.BACKBONE: 1e-5,
+    LinkKind.INTERDOMAIN: 2e-5,
+    LinkKind.ACCESS: 5e-5,
+    LinkKind.LAN: 6e-6,
+}
+#: Queueing delay parameters: service quantum and buffer cap per kind.
+_QUEUE_BASE_MS = {
+    LinkKind.BACKBONE: 0.03,
+    LinkKind.INTERDOMAIN: 0.06,
+    LinkKind.ACCESS: 0.12,
+    LinkKind.LAN: 0.02,
+}
+_QUEUE_CAP_MS = {
+    LinkKind.BACKBONE: 12.0,
+    LinkKind.INTERDOMAIN: 30.0,
+    LinkKind.ACCESS: 60.0,
+    LinkKind.LAN: 5.0,
+}
+#: Share of capacity still winnable by an aggressive multi-flow test
+#: when the link is exactly saturated (contested share floor).
+_CONTESTED_SHARE = 0.12
+
+
+@dataclass(frozen=True)
+class LinkObservation:
+    """What one direction of one link looks like at one instant."""
+
+    link_id: int
+    direction: int
+    capacity_mbps: float
+    utilization: float
+    residual_mbps: float
+    loss_rate: float
+    queue_delay_ms: float
+    #: Correlated micro-burst loss (see :class:`~repro.netsim.topology.Link`).
+    burst_loss: float = 0.0
+
+    @property
+    def saturated(self) -> bool:
+        """True when background load alone meets or exceeds capacity."""
+        return self.utilization >= 1.0
+
+
+class LinkStateEvaluator:
+    """Computes :class:`LinkObservation` records from the traffic model."""
+
+    def __init__(self, utilization_model: UtilizationModel) -> None:
+        self._util = utilization_model
+
+    @property
+    def utilization_model(self) -> UtilizationModel:
+        return self._util
+
+    def observe(self, link: Link, direction: int, ts: float) -> LinkObservation:
+        """Evaluate one link direction at simulated time *ts*."""
+        u = self._util.utilization(link.link_id, direction, ts)
+        residual = self.residual_mbps(link.capacity_mbps, u)
+        loss = self.loss_rate(u, link.kind)
+        queue = self.queue_delay_ms(u, link.kind)
+        return LinkObservation(
+            link_id=link.link_id,
+            direction=direction,
+            capacity_mbps=link.capacity_mbps,
+            utilization=u,
+            residual_mbps=residual,
+            loss_rate=loss,
+            queue_delay_ms=queue,
+            burst_loss=link.burst_loss,
+        )
+
+    @staticmethod
+    def residual_mbps(capacity_mbps: float, utilization: float) -> float:
+        """Bandwidth a new elastic flow set can claim on this link."""
+        if capacity_mbps <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_mbps}")
+        if utilization < 0:
+            raise ValueError(f"utilization must be >= 0: {utilization}")
+        free = capacity_mbps * (1.0 - utilization)
+        # Even on a saturated link, loss-based congestion control lets an
+        # aggressive multi-flow test carve out a contested share that
+        # shrinks as overload deepens.
+        contested = capacity_mbps * _CONTESTED_SHARE / max(1.0, utilization) ** 2
+        return max(free, contested)
+
+    @staticmethod
+    def loss_rate(utilization: float, kind: LinkKind) -> float:
+        """Packet loss fraction for a link direction at utilization *u*."""
+        if utilization < 0:
+            raise ValueError(f"utilization must be >= 0: {utilization}")
+        floor = _FLOOR_LOSS[kind]
+        burst = _SUBONSET_COEF * utilization ** 4
+        if utilization <= _LOSS_ONSET:
+            return floor + burst
+        if utilization <= 1.0:
+            ramp = (utilization - _LOSS_ONSET) / (1.0 - _LOSS_ONSET)
+            return floor + burst + _LOSS_AT_CAPACITY * ramp * ramp
+        # Over capacity: the structural overflow fraction dominates.
+        overflow = (utilization - 1.0) / utilization
+        return min(0.9, floor + burst + _LOSS_AT_CAPACITY + overflow)
+
+    @staticmethod
+    def queue_delay_ms(utilization: float, kind: LinkKind) -> float:
+        """Queueing delay added by this link direction, in ms."""
+        if utilization < 0:
+            raise ValueError(f"utilization must be >= 0: {utilization}")
+        base = _QUEUE_BASE_MS[kind]
+        cap = _QUEUE_CAP_MS[kind]
+        u = min(utilization, 0.995)
+        mm1 = base * u / (1.0 - u)
+        if utilization >= 1.0:
+            return cap
+        return min(cap, mm1)

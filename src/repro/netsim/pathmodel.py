@@ -1,0 +1,152 @@
+"""End-to-end path performance: compose link states along a route.
+
+:class:`PathPerformanceModel` is the single place where a routed path
+plus the traffic model turns into the numbers a transport flow sees:
+round-trip time (propagation + queueing on both directions), the data
+direction's loss rate, and the available (residual) bandwidth at the
+path bottleneck.  The speed test protocol then applies the TCP model
+and endpoint rate limits on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .linkstate import LinkObservation, LinkStateEvaluator
+from .routing import Route
+from .topology import Topology
+
+__all__ = ["PathMetrics", "PathPerformanceModel"]
+
+
+@dataclass(frozen=True)
+class PathMetrics:
+    """Transport-relevant state of a forward/reverse path pair at time t.
+
+    The *forward* direction is the direction the bulk data flows; RTT
+    includes the reverse direction's propagation and queueing as well.
+    """
+
+    rtt_ms: float
+    loss_rate: float
+    avail_mbps: float
+    forward: Tuple[LinkObservation, ...]
+    reverse: Tuple[LinkObservation, ...]
+    #: Correlated micro-burst loss accumulated on the data direction.
+    burst_loss_rate: float = 0.0
+
+    @property
+    def measured_loss_rate(self) -> float:
+        """What a packet capture counts: smooth plus bursty drops."""
+        return min(0.95, 1.0 - (1.0 - self.loss_rate)
+                   * (1.0 - self.burst_loss_rate))
+
+    #: How much of the bursty loss TCP "feels": correlated drops inside
+    #: one RTT window cost a single multiplicative decrease however
+    #: many packets the burst ate, so the throughput-relevant fraction
+    #: of burst loss is tiny compared to independent loss.
+    BURST_TCP_WEIGHT = 0.002
+
+    @property
+    def tcp_effective_loss_rate(self) -> float:
+        """Loss rate the (independent-loss) TCP model should be fed."""
+        return min(0.95, self.loss_rate
+                   + self.BURST_TCP_WEIGHT * self.burst_loss_rate)
+
+    @property
+    def bottleneck(self) -> LinkObservation:
+        """The forward-direction link with the least residual bandwidth."""
+        if not self.forward:
+            raise ValueError("path has no forward links")
+        return min(self.forward, key=lambda obs: obs.residual_mbps)
+
+    @property
+    def max_forward_utilization(self) -> float:
+        """Highest background utilization on the data direction."""
+        return max((obs.utilization for obs in self.forward), default=0.0)
+
+    @property
+    def congested(self) -> bool:
+        """True when any forward link is saturated by background load."""
+        return any(obs.saturated for obs in self.forward)
+
+
+class PathPerformanceModel:
+    """Evaluates routed paths against the time-varying traffic model."""
+
+    def __init__(self, topology: Topology,
+                 evaluator: LinkStateEvaluator) -> None:
+        self._topo = topology
+        self._eval = evaluator
+
+    @property
+    def topology(self) -> Topology:
+        return self._topo
+
+    @property
+    def evaluator(self) -> LinkStateEvaluator:
+        return self._eval
+
+    def observe_route(self, route: Route, ts: float,
+                      reverse: bool = False) -> List[LinkObservation]:
+        """Observe every link of *route* in its traversal direction.
+
+        With ``reverse=True`` each link is observed in the opposite
+        direction, modelling the ACK/return path when no asymmetric
+        reverse route is supplied.
+        """
+        out: List[LinkObservation] = []
+        for link_id, direction in route.links:
+            link = self._topo.link(link_id)
+            d = direction ^ 1 if reverse else direction
+            out.append(self._eval.observe(link, d, ts))
+        return out
+
+    def evaluate(self, forward_route: Route, ts: float,
+                 reverse_route: Optional[Route] = None) -> PathMetrics:
+        """Compute :class:`PathMetrics` for a data path at time *ts*.
+
+        *forward_route* carries the bulk data.  When *reverse_route* is
+        omitted the reverse direction is the same links traversed
+        backwards; with service tiers the two directions genuinely
+        differ and the caller passes the asymmetric return route.
+        """
+        fwd_obs = self.observe_route(forward_route, ts)
+        if reverse_route is None:
+            rev_obs = self.observe_route(forward_route, ts, reverse=True)
+            rev_prop = forward_route.propagation_delay_ms(self._topo)
+        else:
+            rev_obs = self.observe_route(reverse_route, ts)
+            rev_prop = reverse_route.propagation_delay_ms(self._topo)
+        fwd_prop = forward_route.propagation_delay_ms(self._topo)
+
+        rtt = (fwd_prop + rev_prop
+               + sum(o.queue_delay_ms for o in fwd_obs)
+               + sum(o.queue_delay_ms for o in rev_obs))
+
+        survive = 1.0
+        burst_survive = 1.0
+        for obs in fwd_obs:
+            survive *= (1.0 - obs.loss_rate)
+            burst_survive *= (1.0 - obs.burst_loss)
+        loss = 1.0 - survive
+
+        avail = min((o.residual_mbps for o in fwd_obs), default=float("inf"))
+
+        return PathMetrics(
+            rtt_ms=rtt,
+            loss_rate=min(0.95, max(0.0, loss)),
+            avail_mbps=avail,
+            forward=tuple(fwd_obs),
+            reverse=tuple(rev_obs),
+            burst_loss_rate=min(0.95, max(0.0, 1.0 - burst_survive)),
+        )
+
+    def idle_rtt_ms(self, forward_route: Route,
+                    reverse_route: Optional[Route] = None) -> float:
+        """Propagation-only RTT (what a quiet-hour ping would converge to)."""
+        fwd = forward_route.propagation_delay_ms(self._topo)
+        rev = (reverse_route.propagation_delay_ms(self._topo)
+               if reverse_route is not None else fwd)
+        return fwd + rev

@@ -1,0 +1,227 @@
+"""Time-varying background traffic on links.
+
+Each link direction carries a :class:`UtilizationModel`: a base load
+plus one or more diurnal *bumps* (raised-cosine humps centred on a local
+hour), a weekend factor, and reproducible per-hour noise.  The model is
+deterministic given the seed tree, so re-running a campaign reproduces
+the same congestion events.
+
+The paper's measurement window is the 2020 pandemic: access-ISP
+interconnects see both the classic FCC evening peak (7-11 pm local) and
+a daytime surge from telecommuting/remote learning.  The generator
+assigns *congested* profiles (peak utilization above capacity) to a
+configurable fraction of interconnects, which is what produces the
+30-70 % of ISPs with detectable congestion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..rng import SeedTree
+from ..simclock import is_weekend
+from ..units import HOUR
+
+__all__ = ["DiurnalBump", "DiurnalProfile", "UtilizationModel", "TrafficConfig"]
+
+
+@dataclass(frozen=True)
+class DiurnalBump:
+    """One raised-cosine load hump.
+
+    ``amplitude`` adds to utilization at the hump centre; the hump spans
+    ``+- width_hours`` around ``center_hour`` (in the link's local time)
+    and is periodic over the 24-hour day.
+    """
+
+    center_hour: float
+    width_hours: float
+    amplitude: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.center_hour < 24.0:
+            raise ValueError(f"center_hour out of range: {self.center_hour}")
+        if self.width_hours <= 0:
+            raise ValueError(f"width_hours must be positive: {self.width_hours}")
+
+    def value(self, local_hour: float) -> float:
+        """Contribution of this bump at a (fractional) local hour."""
+        delta = abs(local_hour - self.center_hour)
+        delta = min(delta, 24.0 - delta)  # periodic distance on the day
+        if delta >= self.width_hours:
+            return 0.0
+        return self.amplitude * 0.5 * (1.0 + math.cos(math.pi * delta / self.width_hours))
+
+
+#: The FCC's peak-use window is 7 pm - 11 pm local time; we centre the
+#: evening bump there.
+EVENING_PEAK = 21.0
+#: Pandemic telework/remote-learning load is centred on early afternoon.
+DAYTIME_PEAK = 13.0
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Shape of a link direction's background load (before noise)."""
+
+    base: float
+    bumps: Tuple[DiurnalBump, ...] = ()
+    weekend_factor: float = 0.9
+    noise_sigma: float = 0.02
+    utc_offset_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"base utilization must be >= 0: {self.base}")
+        if self.noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be >= 0: {self.noise_sigma}")
+
+    def mean_utilization(self, ts: float) -> float:
+        """Noise-free utilization at simulated time *ts* (UTC seconds)."""
+        local = (ts / HOUR + self.utc_offset_hours) % 24.0
+        load = self.base + sum(b.value(local) for b in self.bumps)
+        if is_weekend(ts, self.utc_offset_hours):
+            load *= self.weekend_factor
+        return max(0.0, load)
+
+    def peak_mean(self) -> float:
+        """The maximum noise-free weekday utilization over the day."""
+        return max(self.mean_utilization(h * HOUR + 4 * 86400)  # a weekday
+                   for h in range(24))
+
+    @staticmethod
+    def quiet(base: float = 0.25, utc_offset_hours: float = 0.0,
+              noise_sigma: float = 0.02) -> "DiurnalProfile":
+        """A healthy link: mild evening bump, never near capacity."""
+        return DiurnalProfile(
+            base=base,
+            bumps=(DiurnalBump(EVENING_PEAK, 5.0, 0.20),),
+            utc_offset_hours=utc_offset_hours,
+            noise_sigma=noise_sigma,
+        )
+
+    @staticmethod
+    def congested_evening(base: float = 0.45, peak_amplitude: float = 0.75,
+                          utc_offset_hours: float = 0.0,
+                          noise_sigma: float = 0.04) -> "DiurnalProfile":
+        """Under-provisioned interconnect: evening peak exceeds capacity."""
+        return DiurnalProfile(
+            base=base,
+            bumps=(DiurnalBump(EVENING_PEAK, 4.0, peak_amplitude),),
+            utc_offset_hours=utc_offset_hours,
+            noise_sigma=noise_sigma,
+        )
+
+    @staticmethod
+    def congested_daytime(base: float = 0.45, peak_amplitude: float = 0.70,
+                          utc_offset_hours: float = 0.0,
+                          noise_sigma: float = 0.04) -> "DiurnalProfile":
+        """Pandemic pattern: telework surge overloads the link all day."""
+        return DiurnalProfile(
+            base=base,
+            bumps=(
+                DiurnalBump(DAYTIME_PEAK, 6.0, peak_amplitude),
+                DiurnalBump(EVENING_PEAK, 4.0, peak_amplitude * 0.6),
+            ),
+            utc_offset_hours=utc_offset_hours,
+            noise_sigma=noise_sigma,
+        )
+
+
+class UtilizationModel:
+    """Per-(link, direction) utilization with reproducible hourly noise.
+
+    Noise is drawn lazily, one array of per-hour deviates per link
+    direction, from a generator seeded by the link's identity - two
+    queries for the same (link, direction, hour) always agree, and the
+    realisation is independent of query order.
+    """
+
+    #: Number of hourly noise samples kept per (link, direction).  The
+    #: campaign is 153 days = 3672 hours; we keep a year to be safe.
+    NOISE_HOURS = 24 * 366
+
+    def __init__(self, seeds: SeedTree, origin_ts: float) -> None:
+        self._seeds = seeds.child("utilization-noise")
+        self._origin = float(origin_ts)
+        self._profiles: Dict[Tuple[int, int], DiurnalProfile] = {}
+        self._noise: Dict[Tuple[int, int], np.ndarray] = {}
+        self._default_profile = DiurnalProfile.quiet()
+
+    @property
+    def origin_ts(self) -> float:
+        return self._origin
+
+    def set_profile(self, link_id: int, direction: int,
+                    profile: DiurnalProfile) -> None:
+        """Assign the load shape of one link direction."""
+        if direction not in (0, 1):
+            raise ValueError(f"direction must be 0 or 1, got {direction}")
+        self._profiles[(link_id, direction)] = profile
+        self._noise.pop((link_id, direction), None)
+
+    def set_profile_both(self, link_id: int, profile: DiurnalProfile,
+                         reverse: Optional[DiurnalProfile] = None) -> None:
+        """Assign forward and (optionally different) reverse profiles."""
+        self.set_profile(link_id, 0, profile)
+        self.set_profile(link_id, 1, reverse if reverse is not None else profile)
+
+    def profile(self, link_id: int, direction: int) -> DiurnalProfile:
+        return self._profiles.get((link_id, direction), self._default_profile)
+
+    def has_profile(self, link_id: int, direction: int) -> bool:
+        return (link_id, direction) in self._profiles
+
+    def _noise_array(self, link_id: int, direction: int) -> np.ndarray:
+        key = (link_id, direction)
+        arr = self._noise.get(key)
+        if arr is None:
+            gen = self._seeds.generator(f"link-{link_id}-dir-{direction}")
+            sigma = self.profile(link_id, direction).noise_sigma
+            arr = gen.normal(0.0, sigma, size=self.NOISE_HOURS) if sigma > 0 \
+                else np.zeros(self.NOISE_HOURS)
+            self._noise[key] = arr
+        return arr
+
+    def utilization(self, link_id: int, direction: int, ts: float) -> float:
+        """Background utilization fraction at *ts* (can exceed 1.0)."""
+        profile = self.profile(link_id, direction)
+        mean = profile.mean_utilization(ts)
+        if profile.noise_sigma <= 0:
+            return mean
+        hour_idx = int((ts - self._origin) // HOUR) % self.NOISE_HOURS
+        noise = float(self._noise_array(link_id, direction)[hour_idx])
+        return max(0.0, mean + noise)
+
+
+@dataclass
+class TrafficConfig:
+    """Knobs controlling how the generator assigns load profiles.
+
+    ``congested_fraction`` is the probability that an access-ISP
+    interconnect receives an over-capacity profile in the *ISP-to-cloud*
+    (upstream/ingress) direction - the direction where the paper found
+    most congestion.  ``reverse_congested_fraction`` applies to the
+    cloud-to-ISP direction.
+    """
+
+    congested_fraction: float = 0.30
+    reverse_congested_fraction: float = 0.06
+    daytime_congestion_share: float = 0.28
+    base_utilization_range: Tuple[float, float] = (0.15, 0.45)
+    congested_peak_range: Tuple[float, float] = (0.32, 0.72)
+    quiet_bump_range: Tuple[float, float] = (0.10, 0.30)
+    backbone_base_range: Tuple[float, float] = (0.10, 0.30)
+    transit_congested_fraction: float = 0.12
+    noise_sigma: float = 0.035
+
+    def __post_init__(self) -> None:
+        for name in ("congested_fraction", "reverse_congested_fraction",
+                     "daytime_congestion_share", "transit_congested_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")

@@ -1,0 +1,95 @@
+"""A Grafana-substitute text dashboard for a campaign dataset.
+
+The paper indexed processed results into InfluxDB and visualised them
+with Grafana.  :func:`render_dashboard` builds the equivalent one-page
+operational view from a :class:`~repro.core.campaign.CampaignDataset`:
+per-region health panels, the top congested servers with hour-of-day
+profiles, and a throughput distribution strip.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.analysis import congestion_probability, top_congested_pairs
+from ..core.campaign import CampaignDataset
+from ..core.congestion import CongestionReport, detect
+from .ascii import ascii_histogram, sparkline
+from .tables import TextTable, format_percent
+
+__all__ = ["render_dashboard"]
+
+
+def _region_panel(dataset: CampaignDataset, report: CongestionReport,
+                  region: str) -> List[str]:
+    pairs = dataset.pairs(region=region)
+    downloads = []
+    for pair in pairs:
+        downloads.append(dataset.table.series(pair)["download"])
+    merged = np.concatenate(downloads) if downloads else np.array([])
+    lines = [f"## {region}"]
+    table = TextTable(["servers", "tests", "median down (Mbps)",
+                       "congested s-hours", "congested servers"])
+    region_report = _slice_report(report, region)
+    table.add_row([
+        len(pairs),
+        int(merged.size),
+        f"{np.median(merged):.0f}" if merged.size else "-",
+        format_percent(region_report.congested_hour_fraction, 2),
+        len(region_report.congested_pairs()),
+    ])
+    lines.append(table.render())
+    return lines
+
+
+def _slice_report(report: CongestionReport,
+                  region: str) -> CongestionReport:
+    sliced = CongestionReport(threshold=report.threshold,
+                              metric=report.metric)
+    sliced.day_records = [d for d in report.day_records
+                          if d.pair[0] == region]
+    sliced.events = [e for e in report.events if e.pair[0] == region]
+    sliced.pair_hours = {p: n for p, n in report.pair_hours.items()
+                         if p[0] == region}
+    return sliced
+
+
+def render_dashboard(dataset: CampaignDataset,
+                     report: Optional[CongestionReport] = None,
+                     top_k: int = 5) -> str:
+    """Render the full dashboard as one text block."""
+    if report is None:
+        report = detect(dataset)
+    lines: List[str] = ["# CLASP campaign dashboard", ""]
+    lines.append(
+        f"window: {dataset.n_days} days | measurements: {len(dataset)} "
+        f"| failed tests: {dataset.failed_tests}")
+    lines.append(
+        f"congested s-days: "
+        f"{format_percent(report.congested_day_fraction)} | "
+        f"congested s-hours: "
+        f"{format_percent(report.congested_hour_fraction, 2)} "
+        f"(threshold H={report.threshold})")
+    lines.append("")
+
+    for region in dataset.regions():
+        lines.extend(_region_panel(dataset, report, region))
+        offenders = top_congested_pairs(report, region, k=top_k)
+        for pair in offenders:
+            profile = congestion_probability(dataset, report, pair)
+            lines.append(
+                f"  {profile.label[:42]:42s} "
+                f"{sparkline(profile.probability)} "
+                f"({profile.n_events} events, peak "
+                f"@{profile.peak_hour:02d}h)")
+        lines.append("")
+
+    all_downloads = np.concatenate([
+        dataset.table.series(pair)["download"]
+        for pair in dataset.pairs()]) if dataset.pairs() else np.array([])
+    if all_downloads.size:
+        lines.append("## download throughput distribution (Mbps)")
+        lines.append(ascii_histogram(all_downloads, bins=10))
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Figure data containers.
+
+Each experiment produces one or more :class:`FigureSeries` - the exact
+numeric series a figure panel plots - so benchmark output, tests, and
+any future real plotting all consume the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .ascii import render_cdf, render_series
+
+__all__ = ["FigureSeries", "figure_to_text"]
+
+
+@dataclass
+class FigureSeries:
+    """One plotted series: label plus x/y arrays (y-only is allowed)."""
+
+    label: str
+    y: Sequence[float]
+    x: Optional[Sequence[float]] = None
+    kind: str = "line"           # line | cdf | scatter | bar
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.x is not None and len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: x/y length mismatch")
+
+    @property
+    def n(self) -> int:
+        return len(self.y)
+
+    def summary(self) -> Dict[str, float]:
+        arr = np.asarray(list(self.y), dtype=float)
+        if arr.size == 0:
+            return {"n": 0}
+        return {
+            "n": int(arr.size),
+            "min": float(arr.min()),
+            "median": float(np.median(arr)),
+            "mean": float(arr.mean()),
+            "max": float(arr.max()),
+        }
+
+
+def figure_to_text(title: str, series: Sequence[FigureSeries],
+                   max_series: int = 12) -> str:
+    """Render a figure's series as a compact text block."""
+    lines = [title, "=" * len(title)]
+    for s in list(series)[:max_series]:
+        if s.kind == "cdf":
+            lines.append(render_cdf(s.label, s.y))
+        elif s.kind == "scatter":
+            arr = np.asarray(list(s.y), dtype=float)
+            if arr.size:
+                lines.append(
+                    f"{s.label}: n={arr.size} "
+                    f"median={np.median(arr):.1f} "
+                    f"p5={np.percentile(arr, 5):.1f} "
+                    f"p95={np.percentile(arr, 95):.1f}")
+            else:
+                lines.append(f"{s.label}: (empty)")
+        elif s.kind == "bar":
+            lines.append(f"{s.label}: " + " ".join(
+                f"{v:.0f}" for v in s.y))
+        else:
+            lines.append(render_series(s.label, s.y))
+    hidden = len(series) - max_series
+    if hidden > 0:
+        lines.append(f"... and {hidden} more series")
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Server catalog generation and the platform "crawler" view.
+
+Deploys speed test servers across the generated Internet's edge
+networks: access ISPs host most servers (they deploy them close to
+users to validate speeds), with hosting companies, universities, and
+businesses hosting the rest.  M-Lab pods sit in well-connected hosting
+metros; the Comcast platform concentrates in big-ISP footprints; Ookla
+is everywhere.
+
+Each server is attached to the topology as a host with >= 1 Gbps of
+access capacity, and its access link gets a moderate diurnal load
+profile (the server is shared with other testers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..netsim.asn import ASType
+from ..netsim.generator import GeneratedInternet
+from ..netsim.traffic import DiurnalBump, DiurnalProfile
+from ..rng import SeedTree
+from ..units import gbps
+from .server import Platform, ServerRecord, SpeedTestServer
+
+__all__ = ["CatalogConfig", "ServerCatalog", "build_catalog"]
+
+
+@dataclass
+class CatalogConfig:
+    """Shape of the worldwide server deployment."""
+
+    #: Target number of U.S. servers (the paper crawled ~1,330).
+    n_us_servers: int = 1330
+    #: Target number of non-U.S. servers (kept small; only the
+    #: differential experiments need them).
+    n_global_servers: int = 260
+    #: Platform mix (Ookla dominates real deployments).
+    platform_shares: Dict[Platform, float] = field(default_factory=lambda: {
+        Platform.OOKLA: 0.72,
+        Platform.MLAB: 0.17,
+        Platform.COMCAST: 0.11,
+    })
+    #: Probability weights of the hosting AS type for a new server.
+    as_type_weights: Dict[ASType, float] = field(default_factory=lambda: {
+        ASType.ACCESS_ISP: 0.64,
+        ASType.HOSTING: 0.22,
+        ASType.EDUCATION: 0.08,
+        ASType.BUSINESS: 0.06,
+    })
+    #: Access capacity choices in Gbps and their weights ("at least
+    #: 1 Gbps for Ookla").
+    capacity_gbps_choices: Tuple[float, ...] = (1.0, 2.0, 10.0)
+    capacity_weights: Tuple[float, ...] = (0.62, 0.23, 0.15)
+
+    def __post_init__(self) -> None:
+        total = sum(self.platform_shares.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigError(f"platform shares must sum to 1, got {total}")
+        if len(self.capacity_gbps_choices) != len(self.capacity_weights):
+            raise ConfigError("capacity choices/weights length mismatch")
+
+
+class ServerCatalog:
+    """All deployed servers, with platform- and country-level views."""
+
+    def __init__(self, servers: Sequence[SpeedTestServer]) -> None:
+        self._servers: List[SpeedTestServer] = list(servers)
+        self._by_id: Dict[str, SpeedTestServer] = {}
+        self._by_ip: Dict[int, SpeedTestServer] = {}
+        for server in self._servers:
+            if server.server_id in self._by_id:
+                raise ConfigError(f"duplicate server id {server.server_id}")
+            self._by_id[server.server_id] = server
+            self._by_ip[server.ip] = server
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self):
+        return iter(self._servers)
+
+    def get(self, server_id: str) -> SpeedTestServer:
+        try:
+            return self._by_id[server_id]
+        except KeyError:
+            raise ConfigError(f"unknown server {server_id!r}") from None
+
+    def by_ip(self, ip: int) -> Optional[SpeedTestServer]:
+        return self._by_ip.get(ip)
+
+    def servers(self, platform: Optional[Platform] = None,
+                country: Optional[str] = None) -> List[SpeedTestServer]:
+        return [s for s in self._servers
+                if (platform is None or s.platform is platform)
+                and (country is None or s.country == country)]
+
+    def crawl(self, platform: Platform) -> List[ServerRecord]:
+        """What crawling one platform's public server list returns."""
+        return [s.record() for s in self._servers if s.platform is platform]
+
+    def crawl_all(self) -> List[ServerRecord]:
+        """Union of all three platforms' lists (CLASP's first step)."""
+        out: List[ServerRecord] = []
+        for platform in Platform:
+            out.extend(self.crawl(platform))
+        return out
+
+    def distinct_asns(self, country: Optional[str] = None) -> int:
+        return len({s.asn for s in self._servers
+                    if country is None or s.country == country})
+
+
+def build_catalog(internet: GeneratedInternet,
+                  config: Optional[CatalogConfig] = None,
+                  seeds: Optional[SeedTree] = None,
+                  ensure_asns: Optional[Dict[int, int]] = None
+                  ) -> ServerCatalog:
+    """Deploy servers into *internet* and return the catalog.
+
+    *ensure_asns* maps ASN -> minimum server count; used by scenario
+    builders that need specific networks (the paper's named ISPs) to
+    host test servers.
+    """
+    cfg = config or CatalogConfig()
+    seeds = seeds or SeedTree(0)
+    rng = seeds.generator("server-catalog")
+    topo = internet.topology
+
+    by_type: Dict[ASType, List[int]] = {
+        ASType.ACCESS_ISP: list(internet.access_isp_asns),
+        ASType.HOSTING: list(internet.hosting_asns),
+        ASType.EDUCATION: list(internet.education_asns),
+        ASType.BUSINESS: list(internet.business_asns),
+    }
+
+    def pick_as(country_us: bool) -> Optional[int]:
+        """Sample a hosting AS of the configured type mix and country."""
+        types = list(cfg.as_type_weights.keys())
+        weights = np.array([cfg.as_type_weights[t] for t in types])
+        weights = weights / weights.sum()
+        for _attempt in range(24):
+            as_type = types[int(rng.choice(len(types), p=weights))]
+            candidates = [
+                asn for asn in by_type[as_type]
+                if (topo.as_of(asn).country == "US") == country_us
+            ]
+            if candidates:
+                return int(candidates[int(rng.integers(len(candidates)))])
+        return None
+
+    servers: List[SpeedTestServer] = []
+    counters: Dict[Platform, int] = {p: 0 for p in Platform}
+    platforms = list(cfg.platform_shares.keys())
+    platform_weights = np.array([cfg.platform_shares[p] for p in platforms])
+    platform_weights = platform_weights / platform_weights.sum()
+    capacity_weights = np.array(cfg.capacity_weights, dtype=float)
+    capacity_weights = capacity_weights / capacity_weights.sum()
+
+    def deploy(asn: int) -> SpeedTestServer:
+        """Attach one new server host inside AS *asn*."""
+        as_obj = topo.as_of(asn)
+        router_pops = [p for p in topo.pops_of_as(asn) if not p.is_host]
+        pop = router_pops[int(rng.integers(len(router_pops)))]
+        alloc = internet.infra_allocators[asn]
+        ip = alloc.allocate_host()
+        capacity = gbps(float(rng.choice(
+            cfg.capacity_gbps_choices, p=capacity_weights)))
+        host = topo.add_host(asn, pop.pop_id, ip,
+                             capacity_mbps=capacity, delay_ms=0.15)
+        access_link = topo.links_of_pop(host.pop_id)[0]
+        platform = platforms[int(rng.choice(len(platforms),
+                                            p=platform_weights))]
+        counters[platform] += 1
+        city = topo.cities[pop.city_key]
+        # The server shares its access pipe with other testers and
+        # services: moderate base load plus an evening bump.
+        profile = DiurnalProfile(
+            base=float(rng.uniform(0.12, 0.40)),
+            bumps=(DiurnalBump(20.0, 5.0, float(rng.uniform(0.10, 0.35))),),
+            utc_offset_hours=city.utc_offset_hours,
+            noise_sigma=0.04,
+        )
+        internet.utilization.set_profile_both(access_link.link_id, profile)
+        server = SpeedTestServer(
+            server_id=f"{platform.value}-{counters[platform]:05d}",
+            platform=platform,
+            sponsor=as_obj.name,
+            ip=ip,
+            asn=asn,
+            city_key=pop.city_key,
+            country=city.country,
+            host_pop_id=host.pop_id,
+            access_link_id=access_link.link_id,
+            capacity_mbps=capacity,
+            lat=city.point.lat,
+            lon=city.point.lon,
+            service_cap_mbps=min(capacity, float(rng.uniform(230.0, 640.0))),
+        )
+        servers.append(server)
+        return server
+
+    for is_us, count in ((True, cfg.n_us_servers),
+                         (False, cfg.n_global_servers)):
+        for _ in range(count):
+            asn = pick_as(is_us)
+            if asn is not None:
+                deploy(asn)
+    for asn, minimum in sorted((ensure_asns or {}).items()):
+        have = sum(1 for s in servers if s.asn == asn)
+        for _ in range(max(0, minimum - have)):
+            deploy(asn)
+    return ServerCatalog(servers)

@@ -1,0 +1,210 @@
+"""The web speed test protocol.
+
+A test against one server runs three phases, like the real web UIs:
+
+1. **latency** - a burst of small HTTP probes; the UI reports the
+   minimum observed RTT.
+2. **download** - the server pushes bulk data over several parallel
+   TCP connections for a fixed duration; the UI reports the average
+   goodput of the measured window.
+3. **upload** - the client pushes data the other way.
+
+The engine computes each phase from the tier-correct routes and the
+instantaneous path state, applies the endpoint constraints (tc shaping
+on the VM NIC, machine-type CPU ceiling, server access capacity - which
+is part of the routed path), and adds multiplicative measurement noise
+so repeated tests scatter the way real web tests do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..cloud.api import CloudPlatform, Direction
+from ..cloud.vm import VirtualMachine
+from ..errors import SpeedTestError
+from ..netsim.pathmodel import PathMetrics
+from ..netsim.routing import Route
+from ..netsim.tcp import multiflow_throughput_mbps
+from ..rng import SeedTree
+from ..units import transferred_bytes
+from .server import SpeedTestServer
+
+__all__ = ["SpeedTestConfig", "SpeedTestResult", "SpeedTestEngine"]
+
+
+@dataclass
+class SpeedTestConfig:
+    """Protocol parameters (defaults match common web tests)."""
+
+    n_flows: int = 24
+    ping_count: int = 5
+    download_duration_s: float = 15.0
+    upload_duration_s: float = 15.0
+    #: Multiplicative measurement noise (sigma of a lognormal-ish factor).
+    noise_sigma: float = 0.12
+    #: Latency probe jitter in ms (one-sided).
+    ping_jitter_ms: float = 1.5
+    #: Probability a test fails outright (server busy, browser hiccup).
+    failure_rate: float = 0.002
+
+    #: Flow scaling: web tests add connections on long fat paths until
+    #: the pipe saturates (Ookla grows to dozens of streams).
+    max_flows: int = 128
+    flow_scale_rtt_ms: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.n_flows < 1:
+            raise ValueError(f"n_flows must be >= 1, got {self.n_flows}")
+        if self.max_flows < self.n_flows:
+            raise ValueError("max_flows must be >= n_flows")
+        if not 0 <= self.failure_rate < 1:
+            raise ValueError(
+                f"failure_rate must be in [0, 1), got {self.failure_rate}")
+
+    def flows_for_rtt(self, rtt_ms: float) -> int:
+        """Connections the test opens for a path of the given RTT."""
+        if rtt_ms <= 0:
+            raise ValueError(f"rtt must be positive, got {rtt_ms}")
+        scale = max(1.0, rtt_ms / self.flow_scale_rtt_ms)
+        return min(self.max_flows, int(round(self.n_flows * scale)))
+
+
+@dataclass(frozen=True)
+class SpeedTestResult:
+    """What one completed test reports (web UI numbers + flow stats).
+
+    ``download_loss_rate`` / ``upload_loss_rate`` are the packet loss
+    rates CLASP's pipeline later recovers from the captured TCP flows -
+    the web UI itself does not show them.
+    """
+
+    server_id: str
+    vm_name: str
+    ts: float
+    latency_ms: float
+    download_mbps: float
+    upload_mbps: float
+    download_loss_rate: float
+    upload_loss_rate: float
+    download_bytes: float
+    upload_bytes: float
+    duration_s: float
+    cpu_utilization: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.download_bytes + self.upload_bytes
+
+
+class SpeedTestEngine:
+    """Executes speed tests from cloud VMs against catalog servers."""
+
+    def __init__(self, platform: CloudPlatform,
+                 config: Optional[SpeedTestConfig] = None,
+                 seeds: Optional[SeedTree] = None) -> None:
+        self.platform = platform
+        self.config = config or SpeedTestConfig()
+        self._rng = (seeds or SeedTree(0)).generator("speedtest-engine")
+
+    # ------------------------------------------------------------------
+
+    def run(self, vm: VirtualMachine, server: SpeedTestServer,
+            ts: float) -> SpeedTestResult:
+        """Run the full three-phase test; raises on protocol failure."""
+        vm.require_running()
+        cfg = self.config
+        if self._rng.random() < cfg.failure_rate:
+            raise SpeedTestError(
+                f"test from {vm.name} to {server.server_id} failed")
+
+        # Evaluate each direction's path state once; the latency phase
+        # rides the egress (probe) direction.
+        ingress_metrics = self.path_snapshot(vm, server, ts,
+                                             Direction.INGRESS)
+        egress_metrics = self.path_snapshot(vm, server, ts,
+                                            Direction.EGRESS)
+        latency_ms = self._latency_phase(egress_metrics)
+        server_cap = server.effective_cap_mbps
+        down_mbps, down_loss = self._bulk_phase(
+            vm, ingress_metrics, Direction.INGRESS, server_cap)
+        up_mbps, up_loss = self._bulk_phase(
+            vm, egress_metrics, Direction.EGRESS, server_cap)
+
+        down_bytes = transferred_bytes(down_mbps, cfg.download_duration_s)
+        up_bytes = transferred_bytes(up_mbps, cfg.upload_duration_s)
+        duration = (cfg.download_duration_s + cfg.upload_duration_s
+                    + 0.2 * cfg.ping_count + 3.0)
+        cpu = vm.machine_type.cpu_utilization_during_test(
+            max(down_mbps, up_mbps))
+
+        return SpeedTestResult(
+            server_id=server.server_id,
+            vm_name=vm.name,
+            ts=ts,
+            latency_ms=round(latency_ms, 2),
+            download_mbps=round(down_mbps, 2),
+            upload_mbps=round(up_mbps, 2),
+            download_loss_rate=down_loss,
+            upload_loss_rate=up_loss,
+            download_bytes=down_bytes,
+            upload_bytes=up_bytes,
+            duration_s=duration,
+            cpu_utilization=cpu,
+        )
+
+    # ------------------------------------------------------------------
+    # phases
+
+    def _routes(self, vm: VirtualMachine, server: SpeedTestServer,
+                data_direction: Direction) -> Tuple[Route, Route]:
+        return self.platform.route_pair(vm, server.host_pop_id,
+                                        data_direction)
+
+    def _latency_phase(self, metrics: PathMetrics) -> float:
+        """Minimum RTT over a burst of small probes."""
+        jitter = self._rng.exponential(self.config.ping_jitter_ms,
+                                       size=self.config.ping_count)
+        samples = metrics.rtt_ms + jitter
+        return float(np.min(samples))
+
+    def _bulk_phase(self, vm: VirtualMachine, metrics: PathMetrics,
+                    direction: Direction,
+                    server_cap_mbps: float) -> Tuple[float, float]:
+        """One bulk-transfer phase; returns (reported Mbps, loss rate)."""
+        cfg = self.config
+        tcp_mbps = multiflow_throughput_mbps(
+            rtt_ms=metrics.rtt_ms,
+            loss_rate=metrics.tcp_effective_loss_rate,
+            n_flows=cfg.flows_for_rtt(metrics.rtt_ms),
+            path_avail_mbps=metrics.avail_mbps,
+        )
+        rate = min(tcp_mbps, self._endpoint_cap(vm, direction),
+                   server_cap_mbps)
+        rate = min(rate, vm.machine_type.cpu_throughput_cap_mbps)
+        # Multiplicative measurement noise: a one-sided shortfall factor
+        # (tests rarely over-report) plus a tiny symmetric wiggle.
+        shortfall = abs(self._rng.normal(0.0, cfg.noise_sigma))
+        wiggle = self._rng.normal(0.0, cfg.noise_sigma * 0.25)
+        factor = max(0.05, min(1.0, 1.0 - shortfall + wiggle))
+        reported = max(0.05, rate * factor)
+        return reported, metrics.measured_loss_rate
+
+    @staticmethod
+    def _endpoint_cap(vm: VirtualMachine, direction: Direction) -> float:
+        """The tc shaping cap that applies to this data direction."""
+        if direction is Direction.INGRESS:
+            return vm.nic.ingress_cap_mbps()
+        return vm.nic.egress_cap_mbps()
+
+    # ------------------------------------------------------------------
+
+    def path_snapshot(self, vm: VirtualMachine, server: SpeedTestServer,
+                      ts: float,
+                      direction: Direction = Direction.INGRESS) -> PathMetrics:
+        """Expose the raw path state (used by analysis & tests)."""
+        data_route, ack_route = self._routes(vm, server, direction)
+        return self.platform.path_model.evaluate(data_route, ts, ack_route)

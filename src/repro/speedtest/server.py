@@ -1,0 +1,83 @@
+"""Speed test server model and crawl-facing metadata records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..netsim.addressing import format_ip
+
+__all__ = ["Platform", "SpeedTestServer", "ServerRecord"]
+
+
+class Platform(enum.Enum):
+    """The three speed test infrastructures CLASP uses."""
+
+    OOKLA = "ookla"
+    MLAB = "mlab"
+    COMCAST = "comcast"
+
+
+@dataclass(frozen=True)
+class SpeedTestServer:
+    """A deployed test server (simulator-side, with topology handles)."""
+
+    server_id: str
+    platform: Platform
+    sponsor: str            # network/organisation name shown in the UI
+    ip: int
+    asn: int
+    city_key: str
+    country: str
+    host_pop_id: int        # host node in the topology
+    access_link_id: int     # the server's attachment link
+    capacity_mbps: float
+    lat: float
+    lon: float
+    #: Per-client throughput cap the operator configured (test servers
+    #: protect their uplink from any single tester).  0 = uncapped.
+    service_cap_mbps: float = 0.0
+
+    @property
+    def effective_cap_mbps(self) -> float:
+        """Per-client ceiling (service cap, else the access capacity)."""
+        if self.service_cap_mbps > 0:
+            return min(self.service_cap_mbps, self.capacity_mbps)
+        return self.capacity_mbps
+
+    @property
+    def ip_text(self) -> str:
+        return format_ip(self.ip)
+
+    def record(self) -> "ServerRecord":
+        """The metadata a platform's public server list exposes."""
+        city_name = self.city_key.rsplit(",", 1)[0]
+        return ServerRecord(
+            server_id=self.server_id,
+            platform=self.platform,
+            sponsor=self.sponsor,
+            ip_text=self.ip_text,
+            city=city_name,
+            country=self.country,
+            lat=self.lat,
+            lon=self.lon,
+        )
+
+
+@dataclass(frozen=True)
+class ServerRecord:
+    """What crawling a platform's server list yields (no topology refs).
+
+    This is the only view CLASP's selection logic is allowed to consume
+    directly; network position must be *measured* (traceroute, bdrmap)
+    or *resolved* (prefix-to-AS), exactly as in the paper.
+    """
+
+    server_id: str
+    platform: Platform
+    sponsor: str
+    ip_text: str
+    city: str
+    country: str
+    lat: float
+    lon: float

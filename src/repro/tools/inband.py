@@ -1,0 +1,127 @@
+"""In-band bottleneck localization (FlowTrace-style, future work §5).
+
+The paper's future work proposes injecting measurement probes into the
+throughput flows (FlowTrace / ELF) to locate the bottleneck link and
+cut test duration.  This module implements the idea against the
+simulator: TTL-limited probe trains ride along the measurement flow,
+and the per-hop one-way delay *increase* relative to a quiet baseline
+exposes where the queue is building - the bottleneck hop.
+
+The localizer is an inference tool: it only consumes per-hop RTT
+samples that a real in-band train would observe (propagation +
+current queueing + jitter), never the link-state internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..netsim.linkstate import LinkStateEvaluator
+from ..netsim.routing import Route
+from ..netsim.topology import Topology
+from ..rng import SeedTree
+
+__all__ = ["HopDelaySample", "BottleneckEstimate", "InbandProbe"]
+
+
+@dataclass(frozen=True)
+class HopDelaySample:
+    """Cumulative one-way delay observed up to hop *index*."""
+
+    hop_index: int
+    link_id: int
+    delay_ms: float
+
+
+@dataclass(frozen=True)
+class BottleneckEstimate:
+    """Where the queueing concentrates along a path."""
+
+    link_id: int
+    hop_index: int
+    queue_ms: float
+    #: per-hop queueing estimates (ms), aligned with the route's links
+    per_hop_queue_ms: Tuple[float, ...]
+
+    @property
+    def confident(self) -> bool:
+        """True when one hop clearly dominates the queueing."""
+        total = sum(self.per_hop_queue_ms)
+        return total > 0.5 and self.queue_ms >= 0.5 * total
+
+
+class InbandProbe:
+    """TTL-limited probe trains inside a measurement flow."""
+
+    def __init__(self, topology: Topology, evaluator: LinkStateEvaluator,
+                 seeds: Optional[SeedTree] = None,
+                 jitter_ms: float = 0.15) -> None:
+        if jitter_ms < 0:
+            raise MeasurementError("jitter must be >= 0")
+        self._topo = topology
+        self._eval = evaluator
+        self._rng = (seeds or SeedTree(0)).generator("inband-probe")
+        self.jitter_ms = jitter_ms
+
+    def sample_path(self, route: Route, ts: float,
+                    trains: int = 4) -> List[List[HopDelaySample]]:
+        """Observe cumulative per-hop delays with *trains* probe trains."""
+        if trains < 1:
+            raise MeasurementError(f"trains must be >= 1, got {trains}")
+        out: List[List[HopDelaySample]] = []
+        for _ in range(trains):
+            cumulative = 0.0
+            samples: List[HopDelaySample] = []
+            for idx, (link_id, direction) in enumerate(route.links):
+                link = self._topo.link(link_id)
+                obs = self._eval.observe(link, direction, ts)
+                cumulative += link.delay_ms + obs.queue_delay_ms
+                noisy = cumulative + float(
+                    self._rng.exponential(self.jitter_ms))
+                samples.append(HopDelaySample(
+                    hop_index=idx, link_id=link_id, delay_ms=noisy))
+            out.append(samples)
+        return out
+
+    def baseline_path(self, route: Route) -> List[float]:
+        """Quiet-hour cumulative propagation delays per hop."""
+        cumulative = 0.0
+        out = []
+        for link_id, _direction in route.links:
+            cumulative += self._topo.link(link_id).delay_ms
+            out.append(cumulative)
+        return out
+
+    def locate_bottleneck(self, route: Route, ts: float,
+                          trains: int = 4) -> BottleneckEstimate:
+        """Find the hop where queueing concentrates.
+
+        Per hop, the queueing estimate is the *minimum* over trains of
+        (observed cumulative delay - baseline), differenced along the
+        path; min-filtering strips the probe jitter the way real
+        train-based tools do.
+        """
+        if not route.links:
+            raise MeasurementError("cannot probe an empty route")
+        trains_samples = self.sample_path(route, ts, trains)
+        baseline = self.baseline_path(route)
+        n = len(route.links)
+        min_excess = np.full(n, np.inf)
+        for samples in trains_samples:
+            for sample in samples:
+                excess = sample.delay_ms - baseline[sample.hop_index]
+                min_excess[sample.hop_index] = min(
+                    min_excess[sample.hop_index], max(0.0, excess))
+        per_hop = np.diff(np.concatenate([[0.0], min_excess]))
+        per_hop = np.maximum(per_hop, 0.0)
+        best = int(np.argmax(per_hop))
+        return BottleneckEstimate(
+            link_id=route.links[best][0],
+            hop_index=best,
+            queue_ms=float(per_hop[best]),
+            per_hop_queue_ms=tuple(float(v) for v in per_hop),
+        )

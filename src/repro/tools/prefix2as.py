@@ -1,0 +1,60 @@
+"""Prefix-to-AS mapping (CAIDA Routeviews pfx2as analog).
+
+The dataset maps announced prefixes to origin ASNs via longest-prefix
+match.  It is built from what networks *announce* (their address
+blocks and per-PoP more-specifics), so - exactly like the real dataset
+- an interdomain link interface numbered out of the other network's
+space maps to the *address owner*, not the router operator.  That gap
+is what bdrmap exists to close.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..netsim.addressing import Prefix, PrefixTrie
+from ..netsim.topology import Topology
+
+__all__ = ["Prefix2AS", "build_prefix2as"]
+
+
+class Prefix2AS:
+    """Longest-prefix-match dataset: IP -> origin ASN."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[int] = PrefixTrie()
+
+    def add(self, prefix: Prefix, asn: int) -> None:
+        """Register an announced prefix."""
+        if asn <= 0:
+            raise ValueError(f"ASN must be positive, got {asn}")
+        self._trie.insert(prefix, asn)
+
+    def lookup(self, ip: int) -> Optional[int]:
+        """Origin ASN of the most-specific covering prefix, or None."""
+        return self._trie.lookup(ip)
+
+    def lookup_prefix(self, ip: int) -> Optional[Tuple[Prefix, int]]:
+        """(prefix, ASN) of the most-specific match, or None."""
+        return self._trie.longest_match(ip)
+
+    def prefixes(self) -> Iterator[Tuple[Prefix, int]]:
+        """Iterate all (prefix, origin ASN) entries."""
+        return self._trie.items()
+
+    def routed_prefixes(self) -> List[Tuple[Prefix, int]]:
+        """All entries as a list, sorted for deterministic iteration."""
+        return sorted(self.prefixes(),
+                      key=lambda item: (item[0].network, item[0].length))
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+
+def build_prefix2as(topology: Topology) -> Prefix2AS:
+    """Build the dataset from every AS's announced prefixes."""
+    dataset = Prefix2AS()
+    for asn, as_obj in topology.ases.items():
+        for prefix in as_obj.prefixes:
+            dataset.add(prefix, asn)
+    return dataset

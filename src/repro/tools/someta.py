@@ -1,0 +1,89 @@
+"""someta-style measurement metadata recording.
+
+``someta`` (Sommers et al., IMC 2017) records host state alongside
+active measurements so analyses can rule out the vantage point itself
+as the bottleneck.  The paper used it to confirm the chosen VM types
+had enough CPU to drive the speed tests.  The recorder snapshots CPU,
+memory, and load around each test and flags tests where the host was
+too busy to be trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+from ..cloud.vm import VirtualMachine
+from ..rng import SeedTree
+
+__all__ = ["SystemSnapshot", "SometaRecorder"]
+
+#: CPU utilization above which a measurement is flagged as potentially
+#: host-limited (matching the paper's "without depleting the CPU"
+#: check).
+CPU_SUSPECT_THRESHOLD = 0.90
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """Host state captured around one measurement."""
+
+    ts: float
+    vm_name: str
+    cpu_utilization: float
+    memory_used_gb: float
+    load_1min: float
+    test_server_id: Optional[str] = None
+
+    @property
+    def cpu_suspect(self) -> bool:
+        """True when the host may have limited the measurement."""
+        return self.cpu_utilization >= CPU_SUSPECT_THRESHOLD
+
+
+class SometaRecorder:
+    """Collects :class:`SystemSnapshot` records for one VM."""
+
+    def __init__(self, vm: VirtualMachine,
+                 seeds: Optional[SeedTree] = None) -> None:
+        self.vm = vm
+        self._rng = (seeds or SeedTree(0)).generator(f"someta-{vm.name}")
+        self._snapshots: List[SystemSnapshot] = []
+
+    def record(self, ts: float, test_cpu_utilization: float,
+               test_server_id: Optional[str] = None) -> SystemSnapshot:
+        """Snapshot host state during a test.
+
+        *test_cpu_utilization* is the CPU the test itself consumed;
+        background daemons add a small noisy baseline on top.
+        """
+        if not 0 <= test_cpu_utilization <= 1:
+            raise ValueError(
+                f"cpu utilization must be in [0, 1], got {test_cpu_utilization}")
+        background = float(abs(self._rng.normal(0.03, 0.015)))
+        cpu = min(1.0, test_cpu_utilization + background)
+        memory = (1.1 + 0.4 * cpu) * self.vm.machine_type.memory_gb / 7.5
+        load = cpu * self.vm.machine_type.vcpus + float(
+            abs(self._rng.normal(0.05, 0.03)))
+        snap = SystemSnapshot(
+            ts=ts,
+            vm_name=self.vm.name,
+            cpu_utilization=cpu,
+            memory_used_gb=memory,
+            load_1min=load,
+            test_server_id=test_server_id,
+        )
+        self._snapshots.append(snap)
+        return snap
+
+    @property
+    def snapshots(self) -> List[SystemSnapshot]:
+        return list(self._snapshots)
+
+    def suspect_fraction(self) -> float:
+        """Fraction of recorded tests flagged as host-limited."""
+        if not self._snapshots:
+            return 0.0
+        suspect = sum(1 for s in self._snapshots if s.cpu_suspect)
+        return suspect / len(self._snapshots)

@@ -1,0 +1,159 @@
+"""Speedchecker-style edge latency probing.
+
+The differential-based selection starts from a preliminary study: from
+vantage points (VPs) in thousands of <city, AS> tuples, measure latency
+to cloud VMs reachable over the premium and the standard network tier,
+keep tuples with >100 samples, and compare the per-tuple medians.  Our
+VPs are software agents in access-ISP PoPs with a per-VP last-mile
+latency offset; probes are timestamped across several simulated days so
+diurnal queueing is represented in the medians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cloud.api import CloudPlatform, Direction
+from ..cloud.tiers import NetworkTier
+from ..errors import NoRouteError
+from ..rng import SeedTree
+from ..simclock import CAMPAIGN_START
+from ..units import DAY
+
+__all__ = ["VantagePoint", "LatencySample", "TupleMedian", "Speedchecker"]
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One edge agent: a host in a <city, AS> tuple."""
+
+    asn: int
+    city_key: str
+    pop_id: int
+    last_mile_ms: float
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """A single probe result."""
+
+    asn: int
+    city_key: str
+    region: str
+    tier: NetworkTier
+    rtt_ms: float
+    ts: float
+
+
+@dataclass(frozen=True)
+class TupleMedian:
+    """Aggregated latency for one <city, AS, region, tier> tuple."""
+
+    asn: int
+    city_key: str
+    region: str
+    tier: NetworkTier
+    median_rtt_ms: float
+    n_samples: int
+
+
+class Speedchecker:
+    """Edge probing platform bound to the simulated cloud."""
+
+    def __init__(self, platform: CloudPlatform,
+                 seeds: Optional[SeedTree] = None,
+                 max_vps: int = 400) -> None:
+        if max_vps < 1:
+            raise ValueError(f"max_vps must be >= 1, got {max_vps}")
+        self.platform = platform
+        self._seeds = seeds or SeedTree(0)
+        self._rng = self._seeds.generator("speedchecker")
+        self.max_vps = max_vps
+        self._vps: Optional[List[VantagePoint]] = None
+
+    # ------------------------------------------------------------------
+
+    def vantage_points(self) -> List[VantagePoint]:
+        """Enumerate (and cache) the platform's agent population."""
+        if self._vps is not None:
+            return self._vps
+        topo = self.platform.topology
+        candidates: List[Tuple[int, str, int]] = []
+        for asn in self.platform.internet.access_isp_asns:
+            for pop in topo.pops_of_as(asn):
+                if pop.is_host:
+                    continue
+                candidates.append((asn, pop.city_key, pop.pop_id))
+        candidates.sort()
+        if len(candidates) > self.max_vps:
+            idx = self._rng.choice(len(candidates), size=self.max_vps,
+                                   replace=False)
+            candidates = [candidates[int(i)] for i in sorted(idx)]
+        self._vps = [
+            VantagePoint(asn=asn, city_key=city, pop_id=pop_id,
+                         last_mile_ms=float(self._rng.uniform(2.0, 18.0)))
+            for asn, city, pop_id in candidates
+        ]
+        return self._vps
+
+    # ------------------------------------------------------------------
+
+    def probe(self, vp: VantagePoint, vm, ts: float) -> Optional[float]:
+        """One RTT probe from a VP to a VM; None when unreachable."""
+        try:
+            fwd = self.platform.route(vm, vp.pop_id, Direction.INGRESS)
+            rev = self.platform.route(vm, vp.pop_id, Direction.EGRESS)
+        except NoRouteError:
+            return None
+        metrics = self.platform.path_model.evaluate(fwd, ts, rev)
+        jitter = float(self._rng.exponential(0.8))
+        return metrics.rtt_ms + 2.0 * vp.last_mile_ms + jitter
+
+    def measure(self, region_names: Sequence[str],
+                samples_per_tuple: int = 120,
+                start_ts: float = CAMPAIGN_START,
+                span_days: int = 5,
+                min_samples: int = 100) -> List[TupleMedian]:
+        """Run the preliminary latency study.
+
+        Creates one premium and one standard VM per region, probes every
+        VP *samples_per_tuple* times at hours spread over *span_days*,
+        and returns the per-tuple medians with at least *min_samples*
+        (some probes fail to route or time out).
+        """
+        vps = self.vantage_points()
+        out: List[TupleMedian] = []
+        for region in region_names:
+            vms = {}
+            for tier in NetworkTier:
+                vms[tier] = self.platform.create_vm(
+                    region, "e2-small", tier, start_ts,
+                    name=f"speedchecker-{region}-{tier.value}")
+            try:
+                for vp in vps:
+                    probe_times = (start_ts + self._rng.uniform(
+                        0, span_days * DAY, size=samples_per_tuple))
+                    for tier in NetworkTier:
+                        samples: List[float] = []
+                        for ts in probe_times:
+                            # ~4% of probes are lost at the edge.
+                            if self._rng.random() < 0.04:
+                                continue
+                            rtt = self.probe(vp, vms[tier], float(ts))
+                            if rtt is not None:
+                                samples.append(rtt)
+                        if len(samples) < min_samples:
+                            continue
+                        out.append(TupleMedian(
+                            asn=vp.asn, city_key=vp.city_key, region=region,
+                            tier=tier,
+                            median_rtt_ms=float(np.median(samples)),
+                            n_samples=len(samples)))
+            finally:
+                for tier in NetworkTier:
+                    self.platform.terminate_vm(vms[tier].name,
+                                               start_ts + span_days * DAY)
+        return out

@@ -1,0 +1,172 @@
+"""Scamper-style paris-traceroute.
+
+Renders a routed path as the hop list a traceroute would show: each
+hop is the *ingress* interface of the receiving router (or its
+loopback when the link is unnumbered), with cumulative RTTs including
+queueing at probe time.  Paris-traceroute semantics: the flow
+identifier is held constant, so per-flow ECMP decisions are stable
+within one trace, and varying ``flow_id`` across traces exposes
+parallel links - which is how bdrmap enumerates LAG members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+from ..netsim.addressing import format_ip
+from ..netsim.linkstate import LinkStateEvaluator
+from ..netsim.routing import GraphMode, Route, Router, TierPolicy
+from ..netsim.topology import Topology
+from ..rng import SeedTree
+
+__all__ = ["Hop", "Traceroute", "Scamper"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One traceroute hop.  ``ip`` is None for a non-responding hop."""
+
+    ttl: int
+    ip: Optional[int]
+    rtt_ms: Optional[float]
+
+    @property
+    def responded(self) -> bool:
+        return self.ip is not None
+
+    def __repr__(self) -> str:
+        if self.ip is None:
+            return f"Hop({self.ttl}, *)"
+        return f"Hop({self.ttl}, {format_ip(self.ip)}, {self.rtt_ms:.1f}ms)"
+
+
+@dataclass(frozen=True)
+class Traceroute:
+    """A completed trace: source/destination plus the hop list."""
+
+    src_ip: int
+    dst_ip: int
+    ts: float
+    flow_id: int
+    hops: Tuple[Hop, ...]
+    reached: bool
+
+    def responding_ips(self) -> List[int]:
+        return [h.ip for h in self.hops if h.ip is not None]
+
+    def hop_ips(self) -> List[Optional[int]]:
+        return [h.ip for h in self.hops]
+
+    @property
+    def rtt_ms(self) -> Optional[float]:
+        """RTT to the destination, when it was reached."""
+        if not self.reached or not self.hops:
+            return None
+        return self.hops[-1].rtt_ms
+
+
+class Scamper:
+    """Traceroute engine bound to a topology + routing engine.
+
+    A small per-router non-response probability models ICMP rate
+    limiting and filtered routers.  The destination host always
+    responds (speed test servers are live web servers).
+    """
+
+    def __init__(self, topology: Topology, router: Router,
+                 evaluator: Optional[LinkStateEvaluator] = None,
+                 seeds: Optional[SeedTree] = None,
+                 no_response_rate: float = 0.02) -> None:
+        if not 0 <= no_response_rate < 1:
+            raise ValueError(
+                f"no_response_rate must be in [0, 1), got {no_response_rate}")
+        self._topo = topology
+        self._router = router
+        self._eval = evaluator
+        self._rng = (seeds or SeedTree(0)).generator("scamper")
+        self.no_response_rate = no_response_rate
+
+    # ------------------------------------------------------------------
+
+    def trace_route(self, route: Route, ts: float,
+                    dst_ip: Optional[int] = None,
+                    flow_id: int = 0) -> Traceroute:
+        """Render an already computed route as a traceroute.
+
+        *dst_ip* is the probed destination address: the final hop is
+        the destination itself replying from that address (a probed
+        host replies from the probed IP, not from a router interface).
+        When omitted, the destination PoP's loopback stands in.
+        """
+        topo = self._topo
+        src_pop = topo.pop(route.src_pop)
+        target_ip = (dst_ip if dst_ip is not None
+                     else topo.pop(route.dst_pop).loopback_ip)
+        hops: List[Hop] = []
+        cumulative_oneway = 0.0
+        reached_target = False
+        for idx, (link_id, direction) in enumerate(route.links):
+            link = topo.link(link_id)
+            receiver_pop_id = route.pops[idx + 1]
+            iface = link.interface_at(receiver_pop_id)
+            ip = iface.ip if iface is not None else topo.pop(receiver_pop_id).loopback_ip
+            cumulative_oneway += link.delay_ms
+            if self._eval is not None:
+                obs = self._eval.observe(link, direction, ts)
+                cumulative_oneway += obs.queue_delay_ms
+            # The destination itself always answers; routers may not.
+            is_target = ip == target_ip
+            responds = is_target or self._rng.random() >= self.no_response_rate
+            if responds:
+                rtt = 2.0 * cumulative_oneway + float(self._rng.exponential(0.4))
+                hops.append(Hop(idx + 1, ip, rtt))
+            else:
+                hops.append(Hop(idx + 1, None, None))
+            reached_target = reached_target or is_target
+        if not reached_target:
+            # The probed address lives behind the final router (a host
+            # in the announced prefix): one more hop, one more reply.
+            last_mile = float(self._rng.uniform(0.1, 0.8))
+            rtt = 2.0 * (cumulative_oneway + last_mile) + float(
+                self._rng.exponential(0.4))
+            hops.append(Hop(len(route.links) + 1, target_ip, rtt))
+        return Traceroute(
+            src_ip=src_pop.loopback_ip,
+            dst_ip=target_ip,
+            ts=ts,
+            flow_id=flow_id,
+            hops=tuple(hops),
+            reached=True,
+        )
+
+    def trace(self, src_pop_id: int, dst_pop_id: int, ts: float,
+              mode: GraphMode = GraphMode.FULL,
+              first_as_policy: TierPolicy = TierPolicy.HOT_POTATO,
+              last_as_policy: TierPolicy = TierPolicy.HOT_POTATO,
+              flow_id: int = 0,
+              dst_ip: Optional[int] = None) -> Traceroute:
+        """Compute the route and render the trace in one call."""
+        route = self._router.route(src_pop_id, dst_pop_id, mode=mode,
+                                   first_as_policy=first_as_policy,
+                                   last_as_policy=last_as_policy,
+                                   flow_id=flow_id)
+        return self.trace_route(route, ts, dst_ip=dst_ip, flow_id=flow_id)
+
+    def trace_to_ip(self, src_pop_id: int, dst_ip: int, ts: float,
+                    mode: GraphMode = GraphMode.FULL,
+                    first_as_policy: TierPolicy = TierPolicy.HOT_POTATO,
+                    last_as_policy: TierPolicy = TierPolicy.HOT_POTATO,
+                    flow_id: int = 0) -> Optional[Traceroute]:
+        """Probe an IP address, resolving where the probe lands.
+
+        Returns ``None`` for unrouted addresses (no covering prefix).
+        """
+        dst_pop = self._topo.resolve_ip_to_pop(dst_ip)
+        if dst_pop is None:
+            return None
+        return self.trace(src_pop_id, dst_pop.pop_id, ts, mode=mode,
+                          first_as_policy=first_as_policy,
+                          last_as_policy=last_as_policy,
+                          flow_id=flow_id, dst_ip=dst_ip)

@@ -1,0 +1,77 @@
+"""Traceroute serialization (scamper "warts" analog, JSON-lines).
+
+The measurement VMs dump their hourly paris-traceroutes to compressed
+files that get shipped to the bucket alongside the pcaps; the analysis
+VM parses them back.  scamper's binary warts format is overkill here -
+we keep the same role with one JSON object per traceroute, which also
+makes the exports greppable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Iterator, Union
+
+from ..errors import MeasurementError
+from .traceroute import Hop, Traceroute
+
+__all__ = ["dumps", "loads", "dump_file", "load_file"]
+
+_FORMAT = "repro-warts-1"
+
+
+def dumps(trace: Traceroute) -> str:
+    """One traceroute as a single JSON line."""
+    return json.dumps({
+        "format": _FORMAT,
+        "src": trace.src_ip,
+        "dst": trace.dst_ip,
+        "ts": trace.ts,
+        "flow_id": trace.flow_id,
+        "reached": trace.reached,
+        "hops": [
+            [hop.ttl, hop.ip, hop.rtt_ms] for hop in trace.hops
+        ],
+    }, separators=(",", ":"))
+
+
+def loads(line: str) -> Traceroute:
+    """Parse one JSON line back into a :class:`Traceroute`."""
+    try:
+        raw = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise MeasurementError(f"malformed warts line: {err}") from None
+    if raw.get("format") != _FORMAT:
+        raise MeasurementError(
+            f"unknown warts format {raw.get('format')!r}")
+    hops = tuple(
+        Hop(ttl=int(ttl),
+            ip=None if ip is None else int(ip),
+            rtt_ms=None if rtt is None else float(rtt))
+        for ttl, ip, rtt in raw["hops"])
+    return Traceroute(
+        src_ip=int(raw["src"]), dst_ip=int(raw["dst"]),
+        ts=float(raw["ts"]), flow_id=int(raw["flow_id"]),
+        hops=hops, reached=bool(raw["reached"]))
+
+
+def dump_file(traces: Iterable[Traceroute],
+              path: Union[str, pathlib.Path]) -> int:
+    """Write traces as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for trace in traces:
+            handle.write(dumps(trace))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_file(path: Union[str, pathlib.Path]) -> Iterator[Traceroute]:
+    """Iterate traces from a JSON-lines file."""
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield loads(line)

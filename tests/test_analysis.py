@@ -1,0 +1,140 @@
+"""Analysis layer: scatter, tier comparison, probability, summaries."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.tiers import NetworkTier
+from repro.core.analysis import (
+    congested_server_summary,
+    congestion_probability,
+    performance_scatter,
+    tier_comparison,
+    top_congested_pairs,
+)
+from repro.core.campaign import CampaignDataset
+from repro.core.congestion import detect
+from repro.core.records import MeasurementRecord, ServerMeta
+from repro.simclock import CAMPAIGN_START
+from repro.units import DAY, HOUR
+
+
+def _meta(server_id, business="isp", offset=0.0):
+    return ServerMeta(server_id=server_id, asn=65000, sponsor="Net",
+                      city_key="Town, US", country="US",
+                      utc_offset_hours=offset, lat=0.0, lon=0.0,
+                      business_type=business)
+
+
+def _record(ts, server_id, tier, down, up=95.0, latency=20.0):
+    return MeasurementRecord(
+        ts=ts, region="r1", vm_name="vm", server_id=server_id,
+        tier=tier, download_mbps=down, upload_mbps=up,
+        latency_ms=latency, download_loss_rate=0.0,
+        upload_loss_rate=0.0)
+
+
+def _paired_dataset(days=3):
+    """Premium/standard measurements every hour; standard 25% faster."""
+    dataset = CampaignDataset(CAMPAIGN_START, CAMPAIGN_START + days * DAY)
+    dataset.add_server_meta(_meta("s1"))
+    for h in range(days * 24):
+        ts = CAMPAIGN_START + h * HOUR
+        dataset.record(_record(ts + 60, "s1", NetworkTier.PREMIUM,
+                               down=300.0, latency=30.0))
+        dataset.record(_record(ts + 200, "s1", NetworkTier.STANDARD,
+                               down=400.0, latency=60.0))
+    return dataset
+
+
+def test_tier_comparison_pairs_same_hour():
+    dataset = _paired_dataset()
+    comparison = tier_comparison(dataset, "r1")
+    assert comparison.servers() == ["s1"]
+    assert comparison.n_matched_hours == 3 * 24
+    deltas = comparison.delta_download["s1"]
+    assert np.allclose(deltas, (300 - 400) / 400)
+    assert comparison.standard_faster_fraction("s1") == 1.0
+    lat = comparison.delta_latency["s1"]
+    assert np.allclose(lat, (30 - 60) / 60)  # premium latency lower
+
+
+def test_tier_comparison_requires_both_tiers():
+    dataset = CampaignDataset(CAMPAIGN_START, CAMPAIGN_START + DAY)
+    dataset.add_server_meta(_meta("solo"))
+    dataset.record(_record(CAMPAIGN_START, "solo", NetworkTier.PREMIUM,
+                           300.0))
+    comparison = tier_comparison(dataset, "r1")
+    assert comparison.servers() == []
+    assert comparison.all_deltas("download").size == 0
+
+
+def test_tier_comparison_unknown_metric():
+    from repro.errors import AnalysisError
+    comparison = tier_comparison(_paired_dataset(), "r1")
+    with pytest.raises(AnalysisError):
+        comparison.all_deltas("jitter")
+
+
+def test_performance_scatter_percentiles():
+    dataset = CampaignDataset(CAMPAIGN_START, CAMPAIGN_START + 35 * DAY)
+    dataset.add_server_meta(_meta("s1"))
+    rng = np.random.default_rng(0)
+    for h in range(35 * 24):
+        dataset.record(_record(
+            CAMPAIGN_START + h * HOUR, "s1", NetworkTier.PREMIUM,
+            down=float(rng.uniform(100, 500)),
+            latency=float(rng.uniform(10, 30))))
+    points = performance_scatter(dataset, min_samples=48)
+    # 35 days -> one full 30-day month plus a partial (5-day) month,
+    # both over the min_samples bar (5 days = 120 samples).
+    assert len(points) == 2
+    first = points[0]
+    assert 400 < first.p95_download_mbps < 500
+    assert 10 < first.p5_latency_ms < 12
+    # min_samples filters thin months.
+    assert len(performance_scatter(dataset, min_samples=200)) == 1
+
+
+def _congested_dataset():
+    """Two servers: one congested daily at 20:00-21:00, one clean."""
+    dataset = CampaignDataset(CAMPAIGN_START, CAMPAIGN_START + 10 * DAY)
+    dataset.add_server_meta(_meta("bad", business="isp"))
+    dataset.add_server_meta(_meta("good", business="hosting"))
+    for day in range(10):
+        for hour in range(24):
+            ts = CAMPAIGN_START + day * DAY + hour * HOUR
+            bad_down = 80.0 if hour in (20, 21) else 400.0
+            dataset.record(_record(ts, "bad", NetworkTier.PREMIUM,
+                                   bad_down))
+            dataset.record(_record(ts, "good", NetworkTier.PREMIUM,
+                                   400.0))
+    return dataset
+
+
+def test_congestion_probability_profile():
+    dataset = _congested_dataset()
+    report = detect(dataset, threshold=0.5)
+    pair = ("r1", "bad", "premium")
+    profile = congestion_probability(dataset, report, pair)
+    assert profile.probability[20] == 1.0
+    assert profile.probability[21] == 1.0
+    assert profile.probability[5] == 0.0
+    assert profile.peak_hour in (20, 21)
+    assert profile.n_events == 20
+    assert profile.label == "Town-Net"
+
+
+def test_top_congested_pairs():
+    dataset = _congested_dataset()
+    report = detect(dataset, threshold=0.5)
+    top = top_congested_pairs(report, "r1", k=5)
+    assert top == [("r1", "bad", "premium")]
+    assert top_congested_pairs(report, "other-region") == []
+
+
+def test_congested_server_summary():
+    dataset = _congested_dataset()
+    report = detect(dataset, threshold=0.5)
+    summary = congested_server_summary(dataset, report, "r1")
+    assert summary["isp"] == (1, 1)       # the bad ISP server
+    assert summary["hosting"] == (0, 1)   # the clean hosting server

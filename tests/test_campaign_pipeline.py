@@ -1,0 +1,115 @@
+"""Campaign runner, dataset, and the analysis pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.tiers import NetworkTier
+from repro.core.campaign import CampaignConfig, CampaignRunner
+from repro.core.pipeline import AnalysisPipeline
+from repro.simclock import CAMPAIGN_START
+from repro.units import DAY, HOUR
+
+
+@pytest.fixture(scope="module")
+def campaign_rig(small_scenario):
+    """One deployed region + a 2-day campaign, shared by the tests."""
+    clasp = small_scenario.clasp
+    catalog = small_scenario.catalog
+    server_ids = [s.server_id for s in catalog.servers(country="US")[:12]]
+    plan = clasp.orchestrator.deploy_topology(
+        "us-east4", server_ids, float(CAMPAIGN_START))
+    cost_before = clasp.platform.costs.total_usd
+    dataset = clasp.run_campaign([plan], days=2)
+    return small_scenario, plan, dataset, cost_before
+
+
+def test_campaign_config_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(days=0)
+    with pytest.raises(ValueError):
+        CampaignConfig(days=1, start_ts=float(CAMPAIGN_START) + 7)
+    config = CampaignConfig(days=3)
+    assert config.end_ts == config.start_ts + 3 * DAY
+    assert config.n_hours == 72
+
+
+def test_campaign_produces_hourly_records(campaign_rig):
+    scenario, plan, dataset, _cost = campaign_rig
+    n_servers = len(plan.server_ids)
+    expected = n_servers * 48
+    # A few tests may fail outright; nearly all must land.
+    assert dataset.completed_tests >= expected * 0.99
+    assert dataset.completed_tests + dataset.failed_tests == expected
+    assert len(dataset) == dataset.completed_tests
+
+
+def test_campaign_metadata_registered(campaign_rig):
+    scenario, plan, dataset, _cost = campaign_rig
+    for server_id in plan.server_ids:
+        meta = dataset.server_meta(server_id)
+        server = scenario.catalog.get(server_id)
+        assert meta.asn == server.asn
+        assert meta.city_key == server.city_key
+    with pytest.raises(KeyError):
+        dataset.server_meta("missing-id")
+
+
+def test_campaign_series_shape(campaign_rig):
+    scenario, plan, dataset, _cost = campaign_rig
+    pair = dataset.pairs(region="us-east4")[0]
+    series = dataset.table.series(pair)
+    assert series["ts"].size >= 46
+    assert np.all(np.diff(series["ts"]) > 0)
+    # One test per hour per server.
+    hours = (series["ts"] // HOUR).astype(int)
+    assert len(np.unique(hours)) == hours.size
+
+
+def test_campaign_bills_usage(campaign_rig):
+    scenario, plan, dataset, cost_before = campaign_rig
+    costs = scenario.clasp.platform.costs.spend_by_category()
+    assert costs["vm_hours"] > 0
+    assert costs["egress"] > 0
+    assert scenario.clasp.total_cost_usd() > cost_before
+
+
+def test_campaign_uploads_artifacts(campaign_rig):
+    _scenario, plan, _dataset, _cost = campaign_rig
+    # One artefact bundle per VM-hour.
+    assert len(plan.bucket) == len(plan.vms) * 48
+    assert plan.bucket.total_bytes > 0
+
+
+def test_dataset_pair_filters(campaign_rig):
+    _scenario, plan, dataset, _cost = campaign_rig
+    assert dataset.regions() == ["us-east4"]
+    prem = dataset.pairs(tier=NetworkTier.PREMIUM)
+    std = dataset.pairs(tier=NetworkTier.STANDARD)
+    assert len(prem) == len(plan.server_ids)
+    assert std == []
+    assert dataset.n_days == 2
+
+
+def test_pipeline_flow_level_processing(campaign_rig):
+    scenario, plan, _dataset, _cost = campaign_rig
+    clasp = scenario.clasp
+    vm = plan.vms[0]
+    server = scenario.catalog.get(plan.servers_of(vm.name)[0])
+    from repro.speedtest.browser import HeadlessBrowser
+    browser = HeadlessBrowser(clasp.engine)
+    artefacts = browser.run_test(vm, server,
+                                 float(CAMPAIGN_START) + 50 * HOUR)
+    pipeline = AnalysisPipeline(clasp.platform, scenario.catalog,
+                                clasp.engine.config,
+                                seeds=scenario.seeds.child("pl"))
+    processed = pipeline.process(vm, artefacts, "us-east4")
+    record = processed.record
+    assert record.server_id == server.server_id
+    assert record.download_mbps == artefacts.result.download_mbps
+    # Estimated RTT from flows sits near the reported latency.
+    assert processed.estimated_rtt_ms == pytest.approx(
+        artefacts.result.latency_ms, rel=0.5)
+    assert len(processed.download_flows) == clasp.engine.config.n_flows
+    assert 0.0 <= processed.estimated_download_loss < 1.0
+    # The record's loss comes from the estimator, not simulator truth.
+    assert record.download_loss_rate == processed.estimated_download_loss

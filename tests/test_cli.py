@@ -1,0 +1,55 @@
+"""CLI subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])
+
+
+def test_world_command(capsys):
+    assert main(["world", "--scale", "0.05", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "speed test servers" in out
+    assert "story networks" in out
+
+
+def test_cost_command(capsys):
+    assert main(["cost", "--servers", "450", "--days", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "total" in out
+    # The paper's "over USD 6k per month" scale.
+    total_line = [l for l in out.splitlines() if l.startswith("total")][0]
+    total = float(total_line.split()[-1].replace(",", ""))
+    assert total > 6000
+
+
+def test_cost_standard_tier_cheaper(capsys):
+    main(["cost", "--servers", "100", "--days", "10",
+          "--tier", "premium"])
+    prem = capsys.readouterr().out
+    main(["cost", "--servers", "100", "--days", "10",
+          "--tier", "standard"])
+    std = capsys.readouterr().out
+
+    def total(text):
+        line = [l for l in text.splitlines() if l.startswith("total")][0]
+        return float(line.split()[-1].replace(",", ""))
+
+    assert total(std) < total(prem)
+
+
+def test_quickloop_command(capsys):
+    assert main(["quickloop", "--scale", "0.05", "--days", "2",
+                 "--region", "us-west1", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "tests completed" in out
+    assert "congested s-days" in out

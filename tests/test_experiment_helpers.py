@@ -1,0 +1,100 @@
+"""Experiment-module helpers that the smoke tests don't reach."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7 import Fig7Result, ascii_map
+from repro.experiments.table1 import PAPER_ROWS, Table1Result, Table1Row
+
+
+def test_ascii_map_places_points():
+    text = ascii_map([(0.0, 0.0)], marker="x", region=(45.0, -120.0),
+                     width=36, height=10)
+    lines = text.splitlines()
+    assert len(lines) == 10
+    assert any("x" in line for line in lines)
+    assert any("R" in line for line in lines)
+    # Equator point lands near the vertical middle.
+    x_row = next(i for i, line in enumerate(lines) if "x" in line)
+    assert 3 <= x_row <= 6
+
+
+def test_ascii_map_clamps_out_of_frame():
+    text = ascii_map([(89.9, 179.9), (-89.9, -179.9)], width=20, height=6)
+    lines = text.splitlines()
+    assert "o" in lines[0]
+    assert "o" in lines[-1]
+
+
+def test_fig7_result_helpers():
+    result = Fig7Result(
+        topology_points={"us-west1": [(40.0, -100.0), (35.0, -90.0)]},
+        differential_points={"europe-west1": [(50.0, 4.0), (19.0, 72.0),
+                                              (-33.0, 151.0)]},
+        region_points={"us-west1": (45.0, -121.0)})
+    assert result.all_us("us-west1")
+    assert result.countries_spanned("europe-west1") == 3
+    result.topology_points["us-west1"].append((51.0, -0.1))  # London
+    assert not result.all_us("us-west1")
+
+
+def test_table1_result_helpers():
+    rows = [Table1Row(region=r, n_interdomain_links=1000,
+                      n_links_traversed=200, n_servers_measured=50,
+                      n_links_covered=50, coverage=50 / 200,
+                      shared_fraction=0.8)
+            for r in ("us-west1", "us-east1")]
+    result = Table1Result(rows=rows)
+    assert set(result.by_region()) == {"us-west1", "us-east1"}
+    assert result.coverage_range == (0.25, 0.25)
+
+
+def test_paper_rows_match_table1_in_paper():
+    # Transcribed values must stay faithful to the paper's Table 1.
+    assert PAPER_ROWS["us-west1"] == (5293, 325, 106)
+    assert PAPER_ROWS["us-east1"] == (6217, 265, 184)
+    for links, traversed, measured in PAPER_ROWS.values():
+        assert measured <= traversed <= links
+    coverages = [m / t for _l, t, m in PAPER_ROWS.values()]
+    assert min(coverages) == pytest.approx(0.207, abs=0.01)
+    assert max(coverages) == pytest.approx(0.694, abs=0.01)
+
+
+def test_fig2_result_helpers():
+    from repro.experiments.fig2 import Fig2Result
+    h = np.array([0.25, 0.5, 0.75])
+    result = Fig2Result(
+        thresholds=h,
+        day_fractions={"us-west1": np.array([0.8, 0.2, 0.1]),
+                       "us-east1": np.array([0.9, 0.3, 0.15])},
+        hour_fractions={"us-west1": np.array([0.1, 0.02, 0.01]),
+                        "us-east1": np.array([0.12, 0.03, 0.02])},
+        chosen_threshold=0.5)
+    assert result.at("us-west1", 0.5) == (0.2, 0.02)
+    assert result.day_range_at(0.5) == (0.2, 0.3)
+    assert result.hour_range_at(0.5) == (0.02, 0.03)
+    series = result.figure_series()
+    assert len(series) == 4
+    labels = {s.label for s in series}
+    assert "2a us-west1" in labels and "2b us-east1" in labels
+
+
+def test_fig5_figure_series_labels():
+    from repro.core.analysis import TierComparison
+    from repro.core.selection.differential import (
+        DifferentialSelection, LatencyClass)
+    from repro.experiments.fig5 import Fig5Result
+    result = Fig5Result(
+        comparison=TierComparison(region="europe-west1"),
+        selection=DifferentialSelection(region="europe-west1"))
+    result.deltas_by_class = {
+        "download": {LatencyClass.COMPARABLE: np.array([-0.1, 0.2])},
+        "upload": {LatencyClass.COMPARABLE: np.array([0.0, 0.05])},
+        "latency": {LatencyClass.PREMIUM_LOWER: np.array([-0.5])},
+    }
+    series = result.figure_series()
+    labels = {s.label for s in series}
+    assert "5a comparable" in labels
+    assert "5b comparable" in labels
+    assert "5c premium_lower" in labels
+    assert all(s.kind == "cdf" for s in series)

@@ -1,0 +1,110 @@
+"""Link-state evaluation: residual bandwidth, loss, queueing delay."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.linkstate import LinkStateEvaluator
+from repro.netsim.topology import LinkKind
+
+utils = st.floats(min_value=0.0, max_value=2.5)
+kinds = st.sampled_from(list(LinkKind))
+
+
+def test_residual_below_saturation_is_free_capacity():
+    assert LinkStateEvaluator.residual_mbps(1000.0, 0.3) == \
+        pytest.approx(700.0)
+    assert LinkStateEvaluator.residual_mbps(1000.0, 0.0) == \
+        pytest.approx(1000.0)
+
+
+def test_residual_contested_floor_when_saturated():
+    # At and beyond saturation an aggressive test still wins a small,
+    # shrinking share.
+    at_cap = LinkStateEvaluator.residual_mbps(1000.0, 1.0)
+    over = LinkStateEvaluator.residual_mbps(1000.0, 1.5)
+    assert 0 < over < at_cap
+    assert at_cap < 200.0
+
+
+def test_residual_validation():
+    with pytest.raises(ValueError):
+        LinkStateEvaluator.residual_mbps(0.0, 0.5)
+    with pytest.raises(ValueError):
+        LinkStateEvaluator.residual_mbps(100.0, -0.1)
+
+
+@given(utils)
+def test_residual_positive_property(u):
+    assert LinkStateEvaluator.residual_mbps(1000.0, u) > 0.0
+
+
+@given(st.floats(min_value=0, max_value=2.4), kinds)
+def test_loss_monotone_in_utilization(u, kind):
+    lo = LinkStateEvaluator.loss_rate(u, kind)
+    hi = LinkStateEvaluator.loss_rate(u + 0.1, kind)
+    assert hi >= lo - 1e-15
+
+
+def test_loss_regimes():
+    floor = LinkStateEvaluator.loss_rate(0.0, LinkKind.ACCESS)
+    quiet = LinkStateEvaluator.loss_rate(0.5, LinkKind.ACCESS)
+    busy = LinkStateEvaluator.loss_rate(0.97, LinkKind.ACCESS)
+    over = LinkStateEvaluator.loss_rate(1.3, LinkKind.ACCESS)
+    assert floor < 1e-3
+    assert quiet < 1e-3
+    assert 1e-3 < busy < 0.05
+    # Overload: the structural overflow fraction (~0.23) dominates.
+    assert over == pytest.approx((1.3 - 1.0) / 1.3, abs=0.02)
+
+
+def test_loss_capped():
+    assert LinkStateEvaluator.loss_rate(50.0, LinkKind.ACCESS) <= 0.9
+
+
+def test_loss_validation():
+    with pytest.raises(ValueError):
+        LinkStateEvaluator.loss_rate(-0.1, LinkKind.ACCESS)
+
+
+@given(st.floats(min_value=0, max_value=2.4), kinds)
+def test_queue_delay_monotone(u, kind):
+    lo = LinkStateEvaluator.queue_delay_ms(u, kind)
+    hi = LinkStateEvaluator.queue_delay_ms(u + 0.1, kind)
+    assert hi >= lo - 1e-12
+
+
+def test_queue_delay_capped_at_buffer():
+    deep = LinkStateEvaluator.queue_delay_ms(1.4, LinkKind.ACCESS)
+    assert deep == 60.0  # the access buffer ceiling
+    shallow = LinkStateEvaluator.queue_delay_ms(0.2, LinkKind.BACKBONE)
+    assert shallow < 0.1
+
+
+def test_observe_roundtrip(mini_world, seeds):
+    from repro.netsim.traffic import DiurnalProfile, UtilizationModel
+    from repro.simclock import CAMPAIGN_START
+    topo = mini_world.topology
+    model = UtilizationModel(seeds, CAMPAIGN_START)
+    link = topo.link(mini_world.links["peer-aw"])
+    model.set_profile(link.link_id, 1,
+                      DiurnalProfile(base=0.4, noise_sigma=0.0))
+    evaluator = LinkStateEvaluator(model)
+    obs = evaluator.observe(link, 1, CAMPAIGN_START)
+    assert obs.link_id == link.link_id
+    assert obs.direction == 1
+    assert obs.utilization == pytest.approx(0.4, abs=0.15)
+    assert not obs.saturated
+    assert obs.residual_mbps <= link.capacity_mbps
+    assert obs.burst_loss == 0.0
+
+
+def test_observe_reports_burst_loss(mini_world, seeds):
+    from repro.netsim.traffic import UtilizationModel
+    from repro.simclock import CAMPAIGN_START
+    topo = mini_world.topology
+    link = topo.link(mini_world.links["peer-aw"])
+    link.burst_loss = 0.12
+    evaluator = LinkStateEvaluator(UtilizationModel(seeds, CAMPAIGN_START))
+    obs = evaluator.observe(link, 0, CAMPAIGN_START)
+    assert obs.burst_loss == 0.12

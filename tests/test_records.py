@@ -1,0 +1,30 @@
+"""Measurement records and server metadata."""
+
+from repro.cloud.tiers import NetworkTier
+from repro.core.records import MeasurementRecord, ServerMeta
+from repro.speedtest.protocol import SpeedTestResult
+
+
+def test_server_meta_label():
+    meta = ServerMeta(server_id="s", asn=1, sponsor="Cox Cable",
+                      city_key="Las Vegas, US", country="US",
+                      utc_offset_hours=-8, lat=36.0, lon=-115.0)
+    assert meta.label == "Las Vegas-Cox Cable"
+    assert meta.business_type == "unknown"
+
+
+def test_record_from_result():
+    result = SpeedTestResult(
+        server_id="srv-1", vm_name="vm-1", ts=1000.0, latency_ms=22.5,
+        download_mbps=312.5, upload_mbps=94.2,
+        download_loss_rate=1e-4, upload_loss_rate=2e-4,
+        download_bytes=5e8, upload_bytes=1.7e8, duration_s=34.0,
+        cpu_utilization=0.2)
+    record = MeasurementRecord.from_result(result, "us-west1",
+                                           NetworkTier.STANDARD)
+    assert record.region == "us-west1"
+    assert record.tier is NetworkTier.STANDARD
+    assert record.download_mbps == 312.5
+    assert record.latency_ms == 22.5
+    assert record.ts == 1000.0
+    assert result.total_bytes == 6.7e8

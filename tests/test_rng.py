@@ -1,0 +1,67 @@
+"""Seed tree determinism and independence."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng import SeedTree, stable_hash64
+
+
+def test_stable_hash_is_stable():
+    assert stable_hash64("hello") == stable_hash64("hello")
+    assert stable_hash64("hello") != stable_hash64("hell0")
+
+
+def test_same_label_same_stream():
+    a = SeedTree(42).generator("x").random(8)
+    b = SeedTree(42).generator("x").random(8)
+    assert np.array_equal(a, b)
+
+
+def test_different_labels_different_streams():
+    a = SeedTree(42).generator("x").random(8)
+    b = SeedTree(42).generator("y").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_different_roots_different_streams():
+    a = SeedTree(1).generator("x").random(8)
+    b = SeedTree(2).generator("x").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_child_path_matters():
+    tree = SeedTree(7)
+    direct = tree.generator("a/b").random(4)
+    nested = tree.child("a").generator("b").random(4)
+    assert np.array_equal(direct, nested)
+
+
+def test_child_and_sibling_disjoint():
+    tree = SeedTree(7)
+    a = tree.child("net").generator("noise").random(4)
+    b = tree.child("cloud").generator("noise").random(4)
+    assert not np.array_equal(a, b)
+
+
+def test_empty_label_rejected():
+    with pytest.raises(ValueError):
+        SeedTree(1).generator("")
+
+
+def test_non_int_seed_rejected():
+    with pytest.raises(TypeError):
+        SeedTree("42")  # type: ignore[arg-type]
+
+
+def test_seed_path_property():
+    tree = SeedTree(5).child("a").child("b")
+    assert tree.path == "a/b"
+    assert tree.root_seed == 5
+
+
+@given(st.text(min_size=1, max_size=40))
+def test_seed_in_64bit_range(label):
+    seed = SeedTree(999).seed(label)
+    assert 0 <= seed < 2 ** 64

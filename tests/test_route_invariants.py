@@ -1,0 +1,85 @@
+"""Route-structure invariants on a generated world.
+
+Every expanded route must be physically consistent: consecutive PoPs
+joined by the listed links in the listed directions, border crossings
+aligned with the AS path, and no teleporting between cities.
+"""
+
+import pytest
+
+from repro.netsim.generator import GeneratorConfig, TopologyGenerator
+from repro.netsim.routing import GraphMode, Router, TierPolicy
+from repro.rng import SeedTree
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = GeneratorConfig(
+        n_tier1=4, n_transit=8, n_access_isp=24, n_big_isp=3,
+        n_hosting=8, n_education=3, n_business=4)
+    net = TopologyGenerator(config, SeedTree(123)).generate()
+    return net, Router(net.topology, cloud_asn=net.cloud_asn)
+
+
+def _routes_sample(net, router):
+    topo = net.topology
+    src = topo.pop_of_as_in_city(net.cloud_asn, "The Dalles, US")
+    for asn in net.edge_asns[:25]:
+        dst = topo.pops_of_as(asn)[0]
+        for mode, first, last in (
+                (GraphMode.FULL, TierPolicy.COLD_POTATO,
+                 TierPolicy.HOT_POTATO),
+                (GraphMode.STANDARD, TierPolicy.HOT_POTATO,
+                 TierPolicy.HOT_POTATO)):
+            yield router.route(src.pop_id, dst.pop_id, mode=mode,
+                               first_as_policy=first,
+                               last_as_policy=last)
+
+
+def test_links_connect_consecutive_pops(world):
+    net, router = world
+    topo = net.topology
+    for route in _routes_sample(net, router):
+        for i, (link_id, direction) in enumerate(route.links):
+            link = topo.link(link_id)
+            here, there = route.pops[i], route.pops[i + 1]
+            if direction == 0:
+                assert (link.pop_a, link.pop_b) == (here, there)
+            else:
+                assert (link.pop_b, link.pop_a) == (here, there)
+
+
+def test_pop_asns_follow_as_path(world):
+    net, router = world
+    topo = net.topology
+    for route in _routes_sample(net, router):
+        pop_asns = [topo.pop(p).asn for p in route.pops]
+        # Collapse runs: must equal the AS path exactly.
+        collapsed = [pop_asns[0]]
+        for asn in pop_asns[1:]:
+            if asn != collapsed[-1]:
+                collapsed.append(asn)
+        assert tuple(collapsed) == route.as_path
+
+
+def test_border_crossings_match_as_path(world):
+    net, router = world
+    for route in _routes_sample(net, router):
+        assert len(route.border_crossings) == len(route.as_path) - 1
+        for record, (a, b) in zip(route.border_crossings,
+                                  zip(route.as_path, route.as_path[1:])):
+            assert {record.near_asn, record.far_asn} == {a, b}
+
+
+def test_no_repeated_pops(world):
+    net, router = world
+    for route in _routes_sample(net, router):
+        assert len(set(route.pops)) == len(route.pops), \
+            "route visits a PoP twice (forwarding loop)"
+
+
+def test_positive_delay(world):
+    net, router = world
+    topo = net.topology
+    for route in _routes_sample(net, router):
+        assert route.propagation_delay_ms(topo) > 0

@@ -1,0 +1,169 @@
+"""Valley-free routing, tier policies, and expansion on the mini world."""
+
+import pytest
+
+from repro.errors import NoRouteError, RoutingError
+from repro.netsim.routing import GraphMode, Router, TierPolicy
+
+
+@pytest.fixture()
+def router(mini_world):
+    return Router(mini_world.topology, cloud_asn=mini_world.cloud_asn)
+
+
+def test_direct_peer_path(router):
+    assert router.as_path(100, 400) == (100, 400)
+    assert router.as_path(400, 100) == (400, 100)
+
+
+def test_customer_route_preferred_over_peer_detour(router):
+    # Cloud -> transit: the only valley-free option is via the tier-1
+    # provider (the cloud cannot use ISP Alpha's transit link: peers do
+    # not export provider routes).
+    assert router.as_path(100, 300) == (100, 200, 300)
+
+
+def test_single_homed_eyeball_path(router):
+    # Cloud -> ISP Beta must descend via tier1 -> transit.
+    assert router.as_path(100, 500) == (100, 200, 300, 500)
+    assert router.as_path(500, 100) == (500, 300, 200, 100)
+
+
+def test_valley_free_no_peer_then_provider(router):
+    # ISP Alpha -> ISP Beta: cannot go up to cloud (peer) then up
+    # again; must use its own provider chain.
+    assert router.as_path(400, 500) == (400, 300, 500)
+
+
+def test_standard_mode_removes_cloud_peering(router):
+    full = router.as_path(400, 100, GraphMode.FULL)
+    std = router.as_path(400, 100, GraphMode.STANDARD)
+    assert full == (400, 100)
+    assert std == (400, 300, 200, 100)
+
+
+def test_standard_mode_non_cloud_paths_unchanged(router):
+    assert router.as_path(400, 500, GraphMode.STANDARD) == \
+        router.as_path(400, 500, GraphMode.FULL)
+
+
+def test_self_path(router):
+    assert router.as_path(100, 100) == (100,)
+
+
+def test_no_route_raises(mini_world):
+    topo = mini_world.topology
+    from repro.netsim.asn import AS, ASType
+    from repro.netsim.addressing import Prefix
+    island = AS(asn=900, name="Island", as_type=ASType.BUSINESS)
+    island.prefixes.append(Prefix.parse("10.90.0.0/16"))
+    topo.add_as(island)
+    router = Router(topo, cloud_asn=100)
+    with pytest.raises(NoRouteError):
+        router.as_path(100, 900)
+
+
+def test_reachability(router, mini_world):
+    assert router.reachable_from(100) == {100, 200, 300, 400, 500}
+
+
+def test_expand_validates_endpoints(router, mini_world):
+    pops = mini_world.pops
+    with pytest.raises(RoutingError):
+        router.expand((100, 400), pops["t1-west"], pops["ispa-west"])
+    with pytest.raises(RoutingError):
+        router.expand((100, 400), pops["cloud-west"], pops["t1-west"])
+
+
+def test_route_structure(router, mini_world):
+    pops = mini_world.pops
+    route = router.route(pops["cloud-west"], pops["ispa-east"])
+    assert route.src_pop == pops["cloud-west"]
+    assert route.dst_pop == pops["ispa-east"]
+    assert len(route.pops) == len(route.links) + 1
+    assert route.as_path == (100, 400)
+    assert len(route.border_crossings) == 1
+
+
+def test_hot_vs_cold_potato_egress(router, mini_world):
+    """Premium egress (cold) exits near the destination; hot potato
+    exits at the origin."""
+    pops = mini_world.pops
+    cold = router.route(pops["cloud-west"], pops["ispa-east"],
+                        first_as_policy=TierPolicy.COLD_POTATO)
+    hot = router.route(pops["cloud-west"], pops["ispa-east"],
+                       first_as_policy=TierPolicy.HOT_POTATO)
+    # Cold potato: ride the cloud WAN to the east peering link.
+    assert cold.border_crossings[0].city_key == "Eastburg, US"
+    # Hot potato: hand off immediately at the west peering link, then
+    # ride ISP Alpha's backbone east.
+    assert hot.border_crossings[0].city_key == "Westville, US"
+    # The cold route spends more hops inside the cloud.
+    cloud_hops_cold = sum(
+        1 for p in cold.pops
+        if mini_world.topology.pop(p).asn == 100)
+    cloud_hops_hot = sum(
+        1 for p in hot.pops
+        if mini_world.topology.pop(p).asn == 100)
+    assert cloud_hops_cold > cloud_hops_hot
+
+
+def test_standard_ingress_enters_near_region(router, mini_world):
+    """Standard-tier ingress is delivered at the transit interconnect
+    nearest the destination region (cold potato on the last hop)."""
+    pops = mini_world.pops
+    # ISP Beta -> cloud-east region, standard tier.
+    route = router.route(pops["ispb-south"], pops["cloud-east"],
+                         mode=GraphMode.STANDARD,
+                         last_as_policy=TierPolicy.COLD_POTATO)
+    assert route.as_path == (500, 300, 200, 100)
+    assert route.border_crossings[-1].city_key == "Eastburg, US"
+    # With hot potato it would enter at the tier-1's nearest link
+    # (already east here), so also check a west-coast region:
+    route_west = router.route(pops["ispb-south"], pops["cloud-west"],
+                              mode=GraphMode.STANDARD,
+                              last_as_policy=TierPolicy.COLD_POTATO)
+    assert route_west.border_crossings[-1].city_key == "Westville, US"
+
+
+def test_route_delay_is_sum_of_links(router, mini_world):
+    pops = mini_world.pops
+    topo = mini_world.topology
+    route = router.route(pops["cloud-west"], pops["ispb-south"])
+    total = sum(topo.link(lid).delay_ms for lid, _d in route.links)
+    assert route.propagation_delay_ms(topo) == pytest.approx(total)
+
+
+def test_ecmp_flow_stability(router, mini_world):
+    pops = mini_world.pops
+    r1 = router.route(pops["cloud-west"], pops["ispb-south"], flow_id=5)
+    r2 = router.route(pops["cloud-west"], pops["ispb-south"], flow_id=5)
+    assert r1.links == r2.links
+
+
+def test_intra_cache_invalidation(router, mini_world):
+    from repro.netsim.addressing import parse_ip
+    topo = mini_world.topology
+    pops = mini_world.pops
+    # Warm the cache.
+    router.route(pops["cloud-west"], pops["ispa-east"])
+    host = topo.add_host(400, pops["ispa-east"],
+                         parse_ip("10.40.0.210"), 1000.0)
+    with pytest.raises(NoRouteError):
+        router.route(pops["cloud-west"], host.pop_id)
+    router.invalidate_intra_cache(400)
+    route = router.route(pops["cloud-west"], host.pop_id)
+    assert route.dst_pop == host.pop_id
+
+
+def test_hosts_never_transit(router, mini_world):
+    """A route between two routers never passes through a host leaf."""
+    from repro.netsim.addressing import parse_ip
+    topo = mini_world.topology
+    pops = mini_world.pops
+    topo.add_host(400, pops["ispa-west"], parse_ip("10.40.0.220"), 1000.0)
+    router.invalidate_intra_cache(400)
+    route = router.route(pops["cloud-west"], pops["ispa-east"],
+                         first_as_policy=TierPolicy.HOT_POTATO)
+    for pop_id in route.pops:
+        assert not topo.pop(pop_id).is_host

@@ -1,0 +1,82 @@
+"""Scenario builder: stories, scaling, differential story surgery."""
+
+import pytest
+
+from repro.experiments.scenario import (
+    ScenarioConfig,
+    apply_differential_story,
+    build_scenario,
+)
+
+
+def test_scenario_config_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(scale=0.001)
+    with pytest.raises(ValueError):
+        ScenarioConfig(scale=10.0)
+
+
+def test_scenario_structure(small_scenario):
+    scenario = small_scenario
+    assert scenario.catalog is scenario.clasp.catalog
+    assert len(scenario.catalog) > 50
+    assert set(scenario.table1_regions) <= set(scenario.us_regions)
+    assert "europe-west1" in scenario.differential_regions
+
+
+def test_stories_installed(small_scenario):
+    scenario = small_scenario
+    topo = scenario.internet.topology
+    stories = scenario.story_asns
+    for label in ("cox", "smarterbroadband", "unwired", "suddenlink",
+                  "cogitant", "vortex", "joister", "telstar"):
+        assert label in stories
+    assert topo.as_of(stories["cox"]).name == "Coxcast Cable"
+    assert "San Diego, US" in topo.as_of(stories["cox"]).pop_cities
+    assert topo.as_of(stories["cogitant"]).name == \
+        "Cogitant Communications"
+    # Cox-analog servers exist in the catalog (ensure_asns).
+    cox_servers = [s for s in scenario.catalog
+                   if s.asn == stories["cox"]]
+    assert len(cox_servers) >= 3
+    # Telstar's cloud interconnect is pinned to the U.S. west coast.
+    telstar_links = topo.interdomain_between(
+        scenario.internet.cloud_asn, stories["telstar"])
+    assert {r.city_key for r in telstar_links} == {"Los Angeles, US"}
+
+
+def test_scenario_deterministic():
+    a = build_scenario(seed=99, scale=0.05)
+    b = build_scenario(seed=99, scale=0.05)
+    assert a.internet.topology.stats() == b.internet.topology.stats()
+    assert [s.server_id for s in a.catalog] == \
+        [s.server_id for s in b.catalog]
+    assert a.story_asns == b.story_asns
+
+
+def test_scenario_without_stories():
+    scenario = build_scenario(seed=99, scale=0.05, stories=False)
+    assert scenario.story_asns == {}
+
+
+def test_apply_differential_story(small_scenario):
+    scenario = small_scenario
+    selection = scenario.clasp.select_differential_servers(
+        "europe-west1",
+        regions_for_study=list(scenario.differential_regions),
+        target_count=8)
+    apply_differential_story(scenario, selection, lossy_targets=3)
+    topo = scenario.internet.topology
+    lossy_links = 0
+    warm_links = 0
+    for server, _cand in selection.selected:
+        for record in topo.interdomain_between(
+                scenario.internet.cloud_asn, server.asn):
+            profile = scenario.internet.utilization.profile(
+                record.link_id, 1)
+            if profile.base >= 0.7:
+                warm_links += 1
+            if topo.link(record.link_id).burst_loss > 0:
+                lossy_links += 1
+    assert warm_links > 0
+    assert lossy_links > 0

@@ -1,0 +1,164 @@
+"""Hourly schedule and VM orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.core.orchestrator import (
+    DOWNLINK_CAP_MBPS,
+    TESTS_PER_VM_HOUR,
+    UPLINK_CAP_MBPS,
+    Orchestrator,
+)
+from repro.core.scheduler import HourlySchedule, TEST_SLOT_S
+from repro.errors import SchedulingError
+from repro.rng import SeedTree
+from repro.simclock import CAMPAIGN_START
+from repro.units import HOUR
+
+
+def test_vms_needed():
+    assert Orchestrator.vms_needed(1) == 1
+    assert Orchestrator.vms_needed(17) == 1
+    assert Orchestrator.vms_needed(18) == 2
+    assert Orchestrator.vms_needed(106) == 7
+    with pytest.raises(SchedulingError):
+        Orchestrator.vms_needed(0)
+
+
+def test_schedule_validation():
+    with pytest.raises(SchedulingError):
+        HourlySchedule("vm", [])
+    with pytest.raises(SchedulingError):
+        HourlySchedule("vm", [f"s{i}" for i in range(18)])
+    with pytest.raises(SchedulingError):
+        HourlySchedule("vm", ["s1", "s1"])
+
+
+def test_hour_slots_cover_all_servers_once():
+    servers = [f"s{i}" for i in range(17)]
+    schedule = HourlySchedule("vm", servers, SeedTree(1))
+    slots = schedule.hour_slots(float(CAMPAIGN_START))
+    assert sorted(s.server_id for s in slots) == sorted(servers)
+    # Slots are spaced by the 120 s test budget, inside the hour.
+    for i, slot in enumerate(slots):
+        assert CAMPAIGN_START + i * TEST_SLOT_S <= slot.ts
+        assert slot.ts < CAMPAIGN_START + (i + 1) * TEST_SLOT_S
+        assert slot.slot_index == i
+
+
+def test_order_randomized_between_hours():
+    servers = [f"s{i}" for i in range(17)]
+    schedule = HourlySchedule("vm", servers, SeedTree(2))
+    h1 = [s.server_id for s in schedule.hour_slots(float(CAMPAIGN_START))]
+    h2 = [s.server_id for s in
+          schedule.hour_slots(float(CAMPAIGN_START + HOUR))]
+    assert h1 != h2  # astronomically unlikely to collide
+
+
+def test_schedule_deterministic_per_seed():
+    servers = [f"s{i}" for i in range(10)]
+    a = HourlySchedule("vm", servers, SeedTree(3))
+    b = HourlySchedule("vm", servers, SeedTree(3))
+    assert [s.server_id for s in a.hour_slots(float(CAMPAIGN_START))] == \
+        [s.server_id for s in b.hour_slots(float(CAMPAIGN_START))]
+
+
+def test_misaligned_hour_rejected():
+    schedule = HourlySchedule("vm", ["s1"], SeedTree(4))
+    with pytest.raises(SchedulingError):
+        schedule.hour_slots(float(CAMPAIGN_START) + 17.0)
+    with pytest.raises(SchedulingError):
+        list(schedule.iter_hours(float(CAMPAIGN_START) + 1, 2))
+    with pytest.raises(SchedulingError):
+        list(schedule.iter_hours(float(CAMPAIGN_START), 0))
+
+
+def test_tail_of_hour_budgets():
+    servers = [f"s{i}" for i in range(17)]
+    schedule = HourlySchedule("vm", servers, SeedTree(5))
+    start = float(CAMPAIGN_START)
+    tr = schedule.traceroute_window(start)
+    up = schedule.upload_ts(start)
+    assert tr == start + 17 * TEST_SLOT_S
+    assert up == tr + 20 * 60
+    assert up + 5 * 60 <= start + HOUR  # everything fits in the hour
+
+
+def test_iter_hours():
+    schedule = HourlySchedule("vm", ["s1", "s2"], SeedTree(6))
+    hours = list(schedule.iter_hours(float(CAMPAIGN_START), 3))
+    assert len(hours) == 3
+    assert hours[1][0].ts >= CAMPAIGN_START + HOUR
+
+
+# ----------------------------------------------------------------------
+# orchestrator (on the small generated scenario)
+
+
+def test_deploy_topology(small_scenario):
+    clasp = small_scenario.clasp
+    orch = clasp.orchestrator
+    server_ids = [s.server_id
+                  for s in small_scenario.catalog.servers(country="US")[:40]]
+    plan = orch.deploy_topology("us-west4", server_ids,
+                                float(CAMPAIGN_START))
+    try:
+        assert len(plan.vms) == Orchestrator.vms_needed(len(server_ids))
+        assert sorted(plan.server_ids) == sorted(server_ids)
+        for vm, chunk in plan.assignments:
+            assert len(chunk) <= TESTS_PER_VM_HOUR
+            assert vm.nic.ingress_cap_mbps() == DOWNLINK_CAP_MBPS
+            assert vm.nic.egress_cap_mbps() == UPLINK_CAP_MBPS
+            assert vm.machine_type.name == "n1-standard-2"
+        assert plan.bucket.region_name == "us-west4"
+        assert plan.servers_of(plan.vms[0].name) == \
+            list(plan.assignments[0][1])
+        with pytest.raises(SchedulingError):
+            plan.servers_of("nope")
+    finally:
+        orch.teardown(plan, float(CAMPAIGN_START))
+    assert all(not vm.is_running for vm in plan.vms)
+
+
+def test_deploy_topology_budget_cap(small_scenario):
+    clasp = small_scenario.clasp
+    server_ids = [s.server_id
+                  for s in small_scenario.catalog.servers(country="US")[:40]]
+    plan = clasp.orchestrator.deploy_topology(
+        "us-west3", server_ids, float(CAMPAIGN_START), budget_servers=10)
+    try:
+        assert len(plan.server_ids) == 10
+        assert plan.server_ids == server_ids[:10]
+    finally:
+        clasp.orchestrator.teardown(plan, float(CAMPAIGN_START))
+
+
+def test_deploy_differential_pairs(small_scenario):
+    from repro.cloud.tiers import NetworkTier
+    clasp = small_scenario.clasp
+    server_ids = [s.server_id
+                  for s in list(small_scenario.catalog)[:8]]
+    plan = clasp.orchestrator.deploy_differential(
+        "europe-west2", server_ids, float(CAMPAIGN_START))
+    try:
+        assert len(plan.vms) == 2
+        tiers = {vm.tier for vm in plan.vms}
+        assert tiers == {NetworkTier.PREMIUM, NetworkTier.STANDARD}
+        for _vm, chunk in plan.assignments:
+            assert chunk == server_ids
+    finally:
+        clasp.orchestrator.teardown(plan, float(CAMPAIGN_START))
+
+
+def test_deploy_differential_rejects_oversized_list(small_scenario):
+    clasp = small_scenario.clasp
+    ids = [s.server_id for s in list(small_scenario.catalog)[:18]]
+    with pytest.raises(SchedulingError):
+        clasp.orchestrator.deploy_differential(
+            "europe-west4", ids, float(CAMPAIGN_START))
+
+
+def test_deploy_rejects_empty(small_scenario):
+    with pytest.raises(SchedulingError):
+        small_scenario.clasp.orchestrator.deploy_topology(
+            "us-west1", [], float(CAMPAIGN_START))

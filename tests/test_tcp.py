@@ -1,0 +1,79 @@
+"""TCP throughput model properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.tcp import (
+    mathis_throughput_mbps,
+    multiflow_throughput_mbps,
+    pftk_throughput_mbps,
+    tcp_throughput_mbps,
+)
+
+rtts = st.floats(min_value=1.0, max_value=500.0)
+losses = st.floats(min_value=1e-6, max_value=0.3)
+
+
+def test_mathis_known_value():
+    # MSS 1460 B, RTT 100 ms, p = 0.01 -> ~1.43 Mbps.
+    rate = mathis_throughput_mbps(100.0, 0.01)
+    expected = (1460 / 0.1) * (1.5 / 0.01) ** 0.5 * 8 / 1e6
+    assert rate == pytest.approx(expected)
+
+
+@given(rtts, losses)
+def test_pftk_below_mathis(rtt, loss):
+    """PFTK (with timeouts, b=2) never exceeds the Mathis bound."""
+    assert pftk_throughput_mbps(rtt, loss) <= \
+        mathis_throughput_mbps(rtt, loss) * 1.01
+
+
+@given(rtts, losses)
+def test_throughput_decreasing_in_loss(rtt, loss):
+    faster = tcp_throughput_mbps(rtt, loss)
+    slower = tcp_throughput_mbps(rtt, min(0.9, loss * 2 + 1e-6))
+    assert slower <= faster + 1e-9
+
+
+@given(rtts, losses)
+def test_throughput_decreasing_in_rtt(rtt, loss):
+    near = tcp_throughput_mbps(rtt, loss)
+    far = tcp_throughput_mbps(rtt * 2, loss)
+    assert far <= near + 1e-9
+
+
+def test_zero_loss_window_limited():
+    # 4 MiB rwnd over 100 ms = ~335 Mbps.
+    rate = tcp_throughput_mbps(100.0, 0.0)
+    assert rate == pytest.approx(4 * 1024 * 1024 / 0.1 * 8 / 1e6, rel=0.01)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        tcp_throughput_mbps(0.0, 0.01)
+    with pytest.raises(ValueError):
+        tcp_throughput_mbps(10.0, 1.0)
+    with pytest.raises(ValueError):
+        mathis_throughput_mbps(10.0, -0.1)
+
+
+def test_multiflow_scales_until_path_cap():
+    one = multiflow_throughput_mbps(50.0, 1e-4, 1, 1e9)
+    many = multiflow_throughput_mbps(50.0, 1e-4, 8, 1e9)
+    assert many == pytest.approx(8 * one, rel=1e-6)
+    capped = multiflow_throughput_mbps(50.0, 1e-4, 8, 100.0)
+    assert capped == 100.0
+
+
+def test_multiflow_validation():
+    with pytest.raises(ValueError):
+        multiflow_throughput_mbps(50.0, 1e-4, 0, 100.0)
+    with pytest.raises(ValueError):
+        multiflow_throughput_mbps(50.0, 1e-4, 4, -1.0)
+
+
+@given(rtts, losses, st.integers(min_value=1, max_value=64),
+       st.floats(min_value=1.0, max_value=1e5))
+def test_multiflow_never_exceeds_path(rtt, loss, flows, avail):
+    assert multiflow_throughput_mbps(rtt, loss, flows, avail) <= avail

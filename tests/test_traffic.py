@@ -1,0 +1,142 @@
+"""Diurnal traffic profiles and the utilization model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.traffic import (
+    DiurnalBump,
+    DiurnalProfile,
+    TrafficConfig,
+    UtilizationModel,
+)
+from repro.rng import SeedTree
+from repro.simclock import CAMPAIGN_START
+from repro.units import DAY, HOUR
+
+
+def test_bump_validation():
+    with pytest.raises(ValueError):
+        DiurnalBump(25.0, 2.0, 0.5)
+    with pytest.raises(ValueError):
+        DiurnalBump(12.0, 0.0, 0.5)
+
+
+def test_bump_peak_and_support():
+    bump = DiurnalBump(center_hour=21.0, width_hours=4.0, amplitude=0.6)
+    assert bump.value(21.0) == pytest.approx(0.6)
+    assert bump.value(17.0) == 0.0
+    assert bump.value(1.0) == 0.0
+    assert 0 < bump.value(19.0) < 0.6
+
+
+def test_bump_periodic_wraparound():
+    bump = DiurnalBump(center_hour=23.0, width_hours=3.0, amplitude=1.0)
+    # 1 am is 2 hours past 11 pm across midnight.
+    assert bump.value(1.0) == pytest.approx(bump.value(21.0))
+    assert bump.value(1.0) > 0
+
+
+@given(st.floats(min_value=0, max_value=23.99),
+       st.floats(min_value=0.5, max_value=12),
+       st.floats(min_value=0, max_value=2),
+       st.floats(min_value=0, max_value=23.99))
+def test_bump_bounded_property(center, width, amp, hour):
+    value = DiurnalBump(center, width, amp).value(hour)
+    assert 0.0 <= value <= amp + 1e-12
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        DiurnalProfile(base=-0.1)
+    with pytest.raises(ValueError):
+        DiurnalProfile(base=0.2, noise_sigma=-1)
+
+
+def test_profile_mean_utilization_peaks_at_bump():
+    profile = DiurnalProfile.congested_evening(utc_offset_hours=0.0)
+    # 21:00 local on a weekday (2020-05-04 was a Monday).
+    monday = CAMPAIGN_START + 3 * DAY
+    at_peak = profile.mean_utilization(monday + 21 * HOUR)
+    at_trough = profile.mean_utilization(monday + 4 * HOUR)
+    assert at_peak > at_trough
+    assert at_peak == pytest.approx(profile.peak_mean(), rel=0.05)
+
+
+def test_profile_weekend_factor():
+    profile = DiurnalProfile(base=0.5, weekend_factor=0.8)
+    friday = CAMPAIGN_START  # 2020-05-01
+    saturday = friday + DAY
+    assert profile.mean_utilization(saturday) == pytest.approx(
+        0.8 * profile.mean_utilization(friday))
+
+
+def test_profile_timezone_shift():
+    profile_utc = DiurnalProfile.congested_evening(utc_offset_hours=0.0)
+    profile_pst = DiurnalProfile.congested_evening(utc_offset_hours=-8.0)
+    ts = CAMPAIGN_START + 3 * DAY + 21 * HOUR  # 21:00 UTC
+    # For the PST link, 21:00 UTC is 13:00 local - off the evening peak.
+    assert profile_utc.mean_utilization(ts) > \
+        profile_pst.mean_utilization(ts)
+
+
+def test_utilization_model_deterministic():
+    m1 = UtilizationModel(SeedTree(9), CAMPAIGN_START)
+    m2 = UtilizationModel(SeedTree(9), CAMPAIGN_START)
+    profile = DiurnalProfile.quiet(0.3)
+    for m in (m1, m2):
+        m.set_profile(17, 0, profile)
+    ts = CAMPAIGN_START + 5 * HOUR
+    assert m1.utilization(17, 0, ts) == m2.utilization(17, 0, ts)
+
+
+def test_utilization_model_order_independent():
+    m1 = UtilizationModel(SeedTree(9), CAMPAIGN_START)
+    m2 = UtilizationModel(SeedTree(9), CAMPAIGN_START)
+    profile = DiurnalProfile.quiet(0.3)
+    for m in (m1, m2):
+        m.set_profile(1, 0, profile)
+        m.set_profile(2, 0, profile)
+    a2 = m1.utilization(2, 0, CAMPAIGN_START)
+    _ = m2.utilization(1, 0, CAMPAIGN_START)
+    b2 = m2.utilization(2, 0, CAMPAIGN_START)
+    assert a2 == b2
+
+
+def test_utilization_nonnegative_and_noisy():
+    model = UtilizationModel(SeedTree(3), CAMPAIGN_START)
+    model.set_profile(5, 1, DiurnalProfile(base=0.02, noise_sigma=0.05))
+    values = [model.utilization(5, 1, CAMPAIGN_START + h * HOUR)
+              for h in range(200)]
+    assert all(v >= 0.0 for v in values)
+    assert np.std(values) > 0.0
+
+
+def test_utilization_directions_independent():
+    model = UtilizationModel(SeedTree(3), CAMPAIGN_START)
+    model.set_profile_both(5, DiurnalProfile(base=0.3, noise_sigma=0.05))
+    ts = CAMPAIGN_START + 7 * HOUR
+    assert model.utilization(5, 0, ts) != model.utilization(5, 1, ts)
+
+
+def test_utilization_default_profile():
+    model = UtilizationModel(SeedTree(3), CAMPAIGN_START)
+    assert not model.has_profile(99, 0)
+    # Unprofiled links fall back to a quiet default.
+    value = model.utilization(99, 0, CAMPAIGN_START)
+    assert 0.0 <= value < 0.9
+
+
+def test_set_profile_validates_direction():
+    model = UtilizationModel(SeedTree(3), CAMPAIGN_START)
+    with pytest.raises(ValueError):
+        model.set_profile(1, 2, DiurnalProfile.quiet())
+
+
+def test_traffic_config_validation():
+    with pytest.raises(ValueError):
+        TrafficConfig(congested_fraction=1.5)
+    with pytest.raises(ValueError):
+        TrafficConfig(daytime_congestion_share=-0.1)
+    TrafficConfig()  # defaults valid

@@ -1,0 +1,101 @@
+"""The tagged time-series store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tsdb import Table, TimeSeriesDB
+from repro.errors import TSDBError
+
+
+@pytest.fixture()
+def table():
+    t = Table("speedtest", ("region", "server"), ("down", "up"))
+    t.append(3.0, ("w1", "s1"), (300.0, 95.0))
+    t.append(1.0, ("w1", "s1"), (100.0, 90.0))
+    t.append(2.0, ("w1", "s2"), (200.0, 92.0))
+    t.append(5.0, ("e1", "s1"), (400.0, 91.0))
+    return t
+
+
+def test_schema_validation():
+    with pytest.raises(TSDBError):
+        Table("t", ("a",), ())
+    with pytest.raises(TSDBError):
+        Table("t", ("a", "a"), ("f",))
+    with pytest.raises(TSDBError):
+        Table("t", ("a",), ("f", "f"))
+
+
+def test_append_validates_arity(table):
+    with pytest.raises(TSDBError):
+        table.append(1.0, ("w1",), (1.0, 2.0))
+    with pytest.raises(TSDBError):
+        table.append(1.0, ("w1", "s1"), (1.0,))
+
+
+def test_series_sorted_by_ts(table):
+    series = table.series(("w1", "s1"))
+    assert list(series["ts"]) == [1.0, 3.0]
+    assert list(series["down"]) == [100.0, 300.0]
+    assert list(series["up"]) == [90.0, 95.0]
+
+
+def test_series_missing_tags(table):
+    with pytest.raises(TSDBError):
+        table.series(("nope", "s1"))
+
+
+def test_tag_combinations_and_distinct(table):
+    assert table.tag_combinations() == [("e1", "s1"), ("w1", "s1"),
+                                        ("w1", "s2")]
+    assert table.distinct("region") == ["e1", "w1"]
+    assert table.distinct("server") == ["s1", "s2"]
+    with pytest.raises(TSDBError):
+        table.distinct("nope")
+
+
+def test_select_filters(table):
+    hits = dict(table.select(region="w1"))
+    assert set(hits) == {("w1", "s1"), ("w1", "s2")}
+    hits2 = dict(table.select(region="w1", server="s2"))
+    assert set(hits2) == {("w1", "s2")}
+    with pytest.raises(TSDBError):
+        list(table.select(bogus="x"))
+
+
+def test_count_and_len(table):
+    assert len(table) == 4
+    assert table.count(region="w1") == 3
+    assert table.count(region="w1", server="s1") == 2
+    assert table.count(region="zz") == 0
+
+
+def test_db_management():
+    db = TimeSeriesDB()
+    db.create_table("a", ("t",), ("f",))
+    assert "a" in db
+    assert db.tables() == ["a"]
+    with pytest.raises(TSDBError):
+        db.create_table("a", ("t",), ("f",))
+    with pytest.raises(TSDBError):
+        db.table("b")
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e6),
+                          st.sampled_from(["a", "b", "c"]),
+                          st.floats(min_value=-1e9, max_value=1e9)),
+                min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_series_preserves_all_rows_property(rows):
+    table = Table("t", ("tag",), ("value",))
+    for ts, tag, value in rows:
+        table.append(ts, (tag,), (value,))
+    assert len(table) == len(rows)
+    for tag in {r[1] for r in rows}:
+        expected = sorted((ts, v) for ts, t, v in rows if t == tag)
+        series = table.series((tag,))
+        assert list(series["ts"]) == [e[0] for e in expected]
+        assert len(series["value"]) == len(expected)
+        assert np.all(np.diff(series["ts"]) >= 0)

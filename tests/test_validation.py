@@ -1,0 +1,86 @@
+"""Ground-truth validation oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.detectors import VariabilityDetector
+from repro.core.validation import (
+    AccuracyReport,
+    bdrmap_accuracy,
+    congestion_oracle,
+    detector_scores,
+)
+from repro.errors import AnalysisError
+from repro.simclock import CAMPAIGN_START
+
+
+def test_accuracy_report_math():
+    report = AccuracyReport(true_positives=8, false_positives=2,
+                            false_negatives=8)
+    assert report.precision == pytest.approx(0.8)
+    assert report.recall == pytest.approx(0.5)
+    assert report.f1 == pytest.approx(2 * 0.8 * 0.5 / 1.3)
+    empty = AccuracyReport(0, 0, 0)
+    assert empty.precision == 0.0
+    assert empty.recall == 0.0
+    assert empty.f1 == 0.0
+
+
+def test_bdrmap_accuracy_oracle(small_scenario):
+    scenario = small_scenario
+    clasp = scenario.clasp
+    src = clasp.platform.region_pop("us-central1")
+    result = clasp.bdrmap.run(src.pop_id, float(CAMPAIGN_START))
+    report = bdrmap_accuracy(result, clasp.platform)
+    assert report.true_positives > 0
+    assert report.precision > 0.8
+    assert 0 < report.recall <= 1
+
+
+@pytest.fixture(scope="module")
+def oracle_run(small_scenario):
+    clasp = small_scenario.clasp
+    selection = clasp.select_topology_servers("us-west4")
+    plan = clasp.deploy_topology("us-west4", selection, budget_servers=20)
+    dataset = clasp.run_campaign([plan], days=3)
+    return small_scenario, plan, dataset
+
+
+def test_congestion_oracle_replays_path_state(oracle_run):
+    scenario, plan, dataset = oracle_run
+    pair = dataset.pairs(region="us-west4")[0]
+    ts, truth = congestion_oracle(scenario.clasp.platform,
+                                  scenario.catalog, dataset, pair)
+    assert ts.size == truth.size
+    assert ts.size > 0
+    assert truth.dtype == bool
+
+
+def test_detector_scores_against_oracle(oracle_run):
+    """On pairs whose paths actually saturate, the deployed detector
+    must beat a coin flip by a wide margin."""
+    scenario, plan, dataset = oracle_run
+    detector = VariabilityDetector()
+    scored = []
+    for pair in dataset.pairs(region="us-west4"):
+        ts, truth = congestion_oracle(scenario.clasp.platform,
+                                      scenario.catalog, dataset, pair)
+        if truth.sum() < 3:
+            continue
+        detection = detector.detect(dataset, pair)
+        scored.append(detector_scores(detection, ts, truth))
+    if not scored:
+        pytest.skip("no saturated pairs in this small sample")
+    mean_recall = np.mean([s.recall for s in scored])
+    mean_precision = np.mean([s.precision for s in scored])
+    assert mean_recall > 0.4
+    assert mean_precision > 0.4
+
+
+def test_detector_scores_requires_overlap(oracle_run):
+    _scenario, _plan, dataset = oracle_run
+    pair = dataset.pairs(region="us-west4")[0]
+    detection = VariabilityDetector().detect(dataset, pair)
+    with pytest.raises(AnalysisError):
+        detector_scores(detection, np.array([1.0, 2.0]),
+                        np.array([True, False]))
