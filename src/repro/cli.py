@@ -8,6 +8,8 @@ Subcommands:
   with a compact report.
 * ``world`` - generate a scenario and print its inventory.
 * ``cost`` - estimate the cloud bill for a campaign shape.
+* ``lint`` - run the :mod:`repro.lint` invariant checker over the
+  source tree (determinism, unit-safety, error hierarchy, layering).
 
 Every command accepts ``--seed`` / ``--scale`` (and ``--days`` where a
 campaign runs), mirroring the ``REPRO_*`` environment knobs the
@@ -58,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cost.add_argument("--days", type=int, default=30)
     p_cost.add_argument("--tier", choices=("premium", "standard"),
                         default="premium")
+
+    p_lint = sub.add_parser("lint",
+                            help="run the invariant checker "
+                                 "(python -m repro.lint)")
+    p_lint.add_argument("paths", nargs="*", default=["src/repro"])
+    p_lint.add_argument("--select", metavar="CODES")
+    p_lint.add_argument("--baseline", metavar="FILE")
+    p_lint.add_argument("--list-rules", action="store_true")
     return parser
 
 
@@ -151,11 +161,25 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "experiment": _cmd_experiment,
     "quickloop": _cmd_quickloop,
     "world": _cmd_world,
     "cost": _cmd_cost,
+    "lint": _cmd_lint,
 }
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..errors import BudgetExhaustedError, ConfigError
+from ..errors import BudgetExhaustedError, ConfigError, ValidationError
 from ..units import bytes_to_gb
 from .tiers import NetworkTier
 
@@ -35,12 +35,12 @@ class PriceBook:
 
     def egress_usd(self, n_bytes: float, tier: NetworkTier) -> float:
         if n_bytes < 0:
-            raise ValueError(f"bytes must be >= 0, got {n_bytes}")
+            raise ValidationError(f"bytes must be >= 0, got {n_bytes}")
         return bytes_to_gb(n_bytes) * self.egress_per_gb[tier.value]
 
     def storage_usd(self, n_bytes: float, months: float) -> float:
         if n_bytes < 0 or months < 0:
-            raise ValueError("bytes and months must be >= 0")
+            raise ValidationError("bytes and months must be >= 0")
         return bytes_to_gb(n_bytes) * months * self.storage_per_gb_month
 
 
@@ -63,7 +63,7 @@ class CostTracker:
         if category not in self._spend:
             raise ConfigError(f"unknown cost category {category!r}")
         if usd < 0:
-            raise ValueError(f"cannot add negative spend: {usd}")
+            raise ValidationError(f"cannot add negative spend: {usd}")
         if (self.budget_usd is not None
                 and self.total_usd + usd > self.budget_usd):
             raise BudgetExhaustedError(
@@ -75,7 +75,7 @@ class CostTracker:
     def charge_vm_hours(self, hourly_usd: float, hours: float) -> float:
         """Charge VM uptime; returns the amount charged."""
         if hours < 0 or hourly_usd < 0:
-            raise ValueError("hours and hourly rate must be >= 0")
+            raise ValidationError("hours and hourly rate must be >= 0")
         usd = hourly_usd * hours
         self._add("vm_hours", usd)
         return usd

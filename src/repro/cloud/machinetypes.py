@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from ..errors import CloudError
+from ..errors import CloudError, ValidationError
 from ..units import gbps
 
 __all__ = ["MachineType", "MACHINE_TYPES", "machine_type_by_name"]
@@ -42,7 +42,7 @@ class MachineType:
     def cpu_utilization_during_test(self, rate_mbps: float) -> float:
         """Fraction of total CPU a test at *rate_mbps* consumes."""
         if rate_mbps < 0:
-            raise ValueError(f"rate must be >= 0, got {rate_mbps}")
+            raise ValidationError(f"rate must be >= 0, got {rate_mbps}")
         return min(1.0, rate_mbps / self.cpu_throughput_cap_mbps)
 
 

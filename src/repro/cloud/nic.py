@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ValidationError
 from ..units import mbps_to_bytes_per_sec
 
 __all__ = ["TokenBucket", "NetworkInterface"]
@@ -45,7 +45,7 @@ class TokenBucket:
             self._last_ts = ts
             return
         if ts < self._last_ts:
-            raise ValueError(
+            raise ValidationError(
                 f"time went backwards: {ts} < {self._last_ts}")
         elapsed = ts - self._last_ts
         self._tokens = min(self.burst_bytes,
@@ -64,7 +64,7 @@ class TokenBucket:
         queue in front of the shaper.
         """
         if n_bytes < 0:
-            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+            raise ValidationError(f"n_bytes must be >= 0, got {n_bytes}")
         self._refill(ts)
         self._tokens -= n_bytes
         if self._tokens >= 0:
@@ -75,7 +75,7 @@ class TokenBucket:
     def effective_rate_mbps(self, demand_mbps: float) -> float:
         """Steady-state rate for sustained demand (min of demand, rate)."""
         if demand_mbps < 0:
-            raise ValueError(f"demand must be >= 0, got {demand_mbps}")
+            raise ValidationError(f"demand must be >= 0, got {demand_mbps}")
         return min(demand_mbps, self.rate_mbps)
 
 

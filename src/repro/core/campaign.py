@@ -12,14 +12,14 @@ record table plus per-server metadata (timezone, AS, business type).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cloud.api import CloudPlatform
 from ..cloud.tiers import NetworkTier
-from ..errors import SpeedTestError
+from ..errors import MissingEntryError, SpeedTestError, ValidationError
 from ..rng import SeedTree
 from ..simclock import CAMPAIGN_START, SimClock
 from ..speedtest.browser import HeadlessBrowser
@@ -50,9 +50,9 @@ class CampaignConfig:
 
     def __post_init__(self) -> None:
         if self.days < 1:
-            raise ValueError(f"days must be >= 1, got {self.days}")
+            raise ValidationError(f"days must be >= 1, got {self.days}")
         if self.start_ts % HOUR != 0:
-            raise ValueError("start_ts must be hour-aligned")
+            raise ValidationError("start_ts must be hour-aligned")
 
     @property
     def end_ts(self) -> float:
@@ -84,7 +84,7 @@ class CampaignDataset:
         try:
             return self.servers[server_id]
         except KeyError:
-            raise KeyError(
+            raise MissingEntryError(
                 f"no metadata recorded for server {server_id!r}") from None
 
     def record(self, rec: MeasurementRecord) -> None:

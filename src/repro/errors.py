@@ -12,6 +12,8 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigError",
+    "ValidationError",
+    "MissingEntryError",
     "AddressingError",
     "TopologyError",
     "RoutingError",
@@ -35,6 +37,23 @@ class ReproError(Exception):
 
 class ConfigError(ReproError):
     """A configuration value is missing, malformed, or inconsistent."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed domain validation (bad range, wrong shape, ...).
+
+    Also derives from :class:`ValueError` so call sites that predate the
+    hierarchy - and idiomatic callers of numeric helpers - can keep
+    catching the builtin.
+    """
+
+
+class MissingEntryError(ReproError, KeyError):
+    """A lookup key (server id, pair, series label) is not present.
+
+    Also derives from :class:`KeyError` to preserve mapping semantics
+    for callers that treat datasets like dictionaries.
+    """
 
 
 class AddressingError(ReproError):

@@ -20,6 +20,7 @@ from ..report.figures import FigureSeries
 from ..simclock import format_ts
 from ..units import DAY
 from .runner import ExperimentCache
+from ..errors import AnalysisError
 
 __all__ = ["Fig3Result", "run", "render"]
 
@@ -63,7 +64,7 @@ def run(cache: ExperimentCache, window_days: int = 2) -> Fig3Result:
     if chosen is None and candidates:
         chosen = max(candidates, key=lambda p: candidates[p])
     if chosen is None:
-        raise RuntimeError("no congestion events found to illustrate")
+        raise AnalysisError("no congestion events found to illustrate")
 
     series = dataset.table.series(chosen)
     ts_all, vh_all = hourly_variability(dataset, chosen)

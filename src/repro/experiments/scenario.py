@@ -46,6 +46,7 @@ from ..netsim.traffic import DiurnalBump, DiurnalProfile
 from ..rng import SeedTree
 from ..speedtest.catalog import CatalogConfig, ServerCatalog, build_catalog
 from ..speedtest.protocol import SpeedTestConfig
+from ..errors import ValidationError
 
 __all__ = [
     "ScenarioConfig",
@@ -69,7 +70,7 @@ class ScenarioConfig:
 
     def __post_init__(self) -> None:
         if not 0.02 <= self.scale <= 4.0:
-            raise ValueError(f"scale out of range: {self.scale}")
+            raise ValidationError(f"scale out of range: {self.scale}")
 
 
 @dataclass
@@ -237,7 +238,10 @@ def apply_differential_story(scenario: Scenario,
     """
     net = scenario.internet
     topo = net.topology
-    draw = scenario.seeds.generator("differential-story")
+    # One stream per region: the story is applied once per study region,
+    # and a shared label would hand every region the same draw sequence
+    # (the exact collision SeedTree.generator now rejects).
+    draw = scenario.seeds.generator(f"differential-story-{selection.region}")
     targets = [server for server, _cand in selection.selected]
 
     lossy_assigned = 0

@@ -15,7 +15,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ValidationError
 from .coords import GeoPoint
 
 __all__ = ["City", "CityCatalog", "default_catalog"]
@@ -212,9 +212,9 @@ class CityCatalog:
                replace: bool = True) -> List[City]:
         """Sample *k* cities weighted by population weight."""
         if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
+            raise ValidationError(f"k must be >= 1, got {k}")
         if not replace and k > len(self._cities):
-            raise ValueError(
+            raise ValidationError(
                 f"cannot sample {k} distinct cities from {len(self._cities)}")
         weights = np.array([c.population_weight for c in self._cities], dtype=float)
         weights /= weights.sum()

@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass
 
 from ..units import FIBER_KM_PER_MS, ROUTE_INFLATION
+from ..errors import ValidationError
 
 __all__ = ["GeoPoint", "haversine_km", "propagation_delay_ms"]
 
@@ -21,9 +22,9 @@ class GeoPoint:
 
     def __post_init__(self) -> None:
         if not -90.0 <= self.lat <= 90.0:
-            raise ValueError(f"latitude out of range: {self.lat}")
+            raise ValidationError(f"latitude out of range: {self.lat}")
         if not -180.0 <= self.lon <= 180.0:
-            raise ValueError(f"longitude out of range: {self.lon}")
+            raise ValidationError(f"longitude out of range: {self.lon}")
 
     def distance_km(self, other: "GeoPoint") -> float:
         """Great-circle distance to *other* in kilometres."""
@@ -50,6 +51,6 @@ def propagation_delay_ms(a: GeoPoint, b: GeoPoint,
     models serialization and local switching even at zero distance.
     """
     if inflation < 1.0:
-        raise ValueError(f"route inflation must be >= 1, got {inflation}")
+        raise ValidationError(f"route inflation must be >= 1, got {inflation}")
     km = haversine_km(a, b) * inflation
     return max(0.05, km / FIBER_KM_PER_MS)

@@ -1,0 +1,43 @@
+"""``repro.lint`` - AST-based invariant checker for the repro codebase.
+
+The reproduction's headline claim (bit-for-bit reproducibility from one
+integer seed) rests on conventions that ordinary tests cannot enforce:
+
+* all randomness flows through :class:`repro.rng.SeedTree`,
+* all unit conversions flow through :mod:`repro.units`,
+* all raised errors derive from :class:`repro.errors.ReproError`,
+* imports respect the ``netsim -> cloud -> tools -> core -> experiments``
+  layering.
+
+This package is a self-contained static-analysis pass over the repo's
+own source, built on :mod:`ast`.  Each invariant is a registered rule
+with a stable code (``RPR001`` ... ``RPR006``); violations are reported
+as :class:`Finding` records and gated in CI by
+``tests/test_lint_clean.py``.  Individual lines opt out with a
+``# repro: noqa RPRxxx`` comment; grandfathered findings live in a
+checked-in baseline file (``lint-baseline.txt``).
+
+Run it as ``python -m repro.lint [paths]`` or ``repro lint``.
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, write_baseline
+from .engine import LintResult, ModuleContext, lint_file, lint_text, run
+from .findings import Finding
+from .rules import LAYERS, Rule, all_rules, get_rule
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "LAYERS",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_text",
+    "run",
+    "load_baseline",
+    "write_baseline",
+]

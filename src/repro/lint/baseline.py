@@ -1,0 +1,59 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline file lets the linter become a CI gate immediately even if
+some findings are deliberately exempt: known findings are recorded once
+and only *new* findings fail the build.  Format, one entry per line::
+
+    # comments and blank lines are ignored
+    src/repro/tools/legacy.py:42:RPR003
+    src/repro/tools/legacy.py:*:RPR002     # any line of that file
+
+``*`` in the line field matches every line, which keeps an entry valid
+across unrelated edits to the file.  Paths use forward slashes and are
+relative to the repository root (the directory the linter runs from).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Set
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "matches_baseline", "write_baseline"]
+
+
+def load_baseline(path: "Path | str") -> Set[str]:
+    """Read *path* and return the set of ``path:line:code`` keys."""
+    entries: Set[str] = set()
+    text = Path(path).read_text(encoding="utf-8")
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        entries.add(line)
+    return entries
+
+
+def matches_baseline(baseline: Set[str], finding: Finding) -> bool:
+    """True if *finding* is covered by an exact or wildcard-line entry."""
+    if finding.baseline_key() in baseline:
+        return True
+    return f"{finding.path}:*:{finding.code}" in baseline
+
+
+def write_baseline(path: "Path | str", findings: Iterable[Finding]) -> int:
+    """Write the baseline for *findings* to *path*; returns entry count.
+
+    Entries are exact ``path:line:code`` keys; hand-edit to ``*`` lines
+    (and add an explanatory comment) for entries meant to live long.
+    """
+    keys = sorted({f.baseline_key() for f in findings})
+    header = (
+        "# repro.lint baseline - grandfathered findings, one per line.\n"
+        "# Format: path:line:code ('*' as line matches any line).\n"
+        "# Every entry should carry a comment explaining why it is exempt.\n"
+    )
+    body = "".join(key + "\n" for key in keys)
+    Path(path).write_text(header + body, encoding="utf-8")
+    return len(keys)

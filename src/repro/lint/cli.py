@@ -1,0 +1,89 @@
+"""Command line for the invariant checker.
+
+``python -m repro.lint [paths] [--select CODES] [--baseline FILE]``
+
+Exit status is 0 when every finding is suppressed or baselined, 1 when
+actionable findings remain, so the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import ReproError
+from .baseline import write_baseline
+from .engine import run
+from .rules import all_rules
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based invariant checker for the repro codebase.")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", metavar="FILE", type=Path,
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--write-baseline", metavar="FILE", type=Path,
+                        help="write current findings to FILE and exit 0")
+    parser.add_argument("--root", metavar="DIR", type=Path,
+                        help="directory findings paths are relative to "
+                             "(default: current directory)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-finding output; summary only")
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name}")
+        print(f"        {rule.summary}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    select = ([code.strip() for code in args.select.split(",") if code.strip()]
+              if args.select else None)
+    try:
+        result = run(args.paths, select=select, baseline=args.baseline,
+                     root=args.root)
+    except ReproError as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        count = write_baseline(args.write_baseline,
+                               result.findings + result.baselined)
+        print(f"wrote {count} baseline entries to {args.write_baseline}")
+        return 0
+
+    if not args.quiet:
+        for finding in result.findings:
+            print(finding.format())
+    status = "clean" if result.ok else f"{len(result.findings)} finding(s)"
+    suffix = (f", {len(result.baselined)} baselined"
+              if result.baselined else "")
+    print(f"repro.lint: {status} in {result.files_checked} file(s){suffix}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

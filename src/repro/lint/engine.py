@@ -1,0 +1,161 @@
+"""Lint engine: discover files, parse, dispatch rules, filter findings.
+
+The pipeline per file is::
+
+    read -> parse (RPR000 on SyntaxError) -> run selected rules
+         -> drop `# repro: noqa` suppressed lines
+         -> split remaining findings against the baseline
+
+:func:`run` is the single entry point used by both the CLI and the CI
+gate test; :func:`lint_text` lints an in-memory snippet, which keeps the
+rule test fixtures free of temp files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
+
+from ..errors import ConfigError
+from .baseline import load_baseline, matches_baseline
+from .findings import Finding
+from .noqa import NoqaDirectives
+from .rules import Rule, all_rules, get_rule
+
+__all__ = ["LintResult", "ModuleContext", "iter_python_files",
+           "lint_file", "lint_text", "module_name_for", "run"]
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    path: str                     #: display path (posix, repo-relative)
+    module: Optional[str]         #: dotted module name, e.g. ``repro.netsim.tcp``
+    tree: ast.AST                 #: parsed AST of the file
+    lines: Sequence[str]          #: raw source lines (1-indexed via ``lines[i-1]``)
+    is_package: bool = False      #: True for ``__init__.py`` files
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)     #: actionable
+    baselined: List[Finding] = field(default_factory=list)    #: grandfathered
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name of *path*, anchored at the ``repro`` package.
+
+    ``/repo/src/repro/netsim/tcp.py`` -> ``repro.netsim.tcp``; files not
+    under a ``repro`` directory fall back to their stem so rules that
+    only need *a* name (fixtures, scratch files) still work.
+    """
+    parts = list(path.resolve().parts)
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = list(parts[anchor:])
+    else:
+        dotted = [path.name]
+    dotted[-1] = dotted[-1][:-3] if dotted[-1].endswith(".py") else dotted[-1]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted) if dotted else None
+
+
+def iter_python_files(paths: Iterable["Path | str"]) -> Iterator[Path]:
+    """Yield every ``.py`` file under *paths*, deterministically sorted."""
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if q.is_file())
+        elif p.suffix == ".py" and p.is_file():
+            yield p
+        else:
+            raise ConfigError(f"lint target {p} is neither a .py file "
+                              f"nor a directory")
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    if not select:
+        return all_rules()
+    return [get_rule(code) for code in select]
+
+
+def _apply_rules(ctx: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.func(ctx))
+    noqa = NoqaDirectives(list(ctx.lines))
+    if len(noqa):
+        findings = [f for f in findings
+                    if not noqa.is_suppressed(f.line, f.code)]
+    return sorted(findings)
+
+
+def lint_text(source: str, path: str = "<snippet>",
+              module: Optional[str] = "snippet",
+              select: Optional[Sequence[str]] = None,
+              is_package: bool = False) -> List[Finding]:
+    """Lint an in-memory *source* snippet (used heavily by the tests)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 1, "RPR000",
+                        f"could not parse: {exc.msg}")]
+    ctx = ModuleContext(path=path, module=module, tree=tree,
+                        lines=source.splitlines(), is_package=is_package)
+    return _apply_rules(ctx, _select_rules(select))
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return str(PurePosixPath(resolved.relative_to(root.resolve())))
+        except ValueError:
+            pass
+    return str(PurePosixPath(path))
+
+
+def lint_file(path: "Path | str", root: "Path | str | None" = None,
+              select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one file; *root* anchors the reported (and baselined) path."""
+    p = Path(path)
+    display = _display_path(p, Path(root) if root is not None else None)
+    source = p.read_text(encoding="utf-8")
+    return lint_text(source, path=display, module=module_name_for(p),
+                     select=select, is_package=p.name == "__init__.py")
+
+
+def run(paths: Iterable["Path | str"],
+        select: Optional[Sequence[str]] = None,
+        baseline: "Path | str | None" = None,
+        root: "Path | str | None" = None) -> LintResult:
+    """Lint *paths* and split findings against the optional *baseline*.
+
+    Paths in findings are made relative to *root* (default: the current
+    working directory), which is also what baseline entries match on.
+    """
+    anchor = Path(root) if root is not None else Path.cwd()
+    baseline_keys: Set[str] = (load_baseline(baseline)
+                               if baseline is not None else set())
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        result.files_checked += 1
+        for finding in lint_file(file_path, root=anchor, select=select):
+            if baseline_keys and matches_baseline(baseline_keys, finding):
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort()
+    result.baselined.sort()
+    return result

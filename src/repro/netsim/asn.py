@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from .addressing import Prefix
+from ..errors import ValidationError
 
 __all__ = ["ASType", "RelationshipKind", "ASRelationship", "AS"]
 
@@ -84,7 +85,7 @@ class ASRelationship:
             return self.b
         if asn == self.b:
             return self.a
-        raise ValueError(f"AS{asn} is not part of this relationship")
+        raise ValidationError(f"AS{asn} is not part of this relationship")
 
 
 @dataclass
@@ -103,7 +104,7 @@ class AS:
 
     def __post_init__(self) -> None:
         if self.asn <= 0:
-            raise ValueError(f"ASN must be positive, got {self.asn}")
+            raise ValidationError(f"ASN must be positive, got {self.asn}")
         if self.org is None:
             self.org = self.name
 

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..errors import ConfigError, TopologyError
+from ..errors import ConfigError, TopologyError, ValidationError
 from ..geo import City, CityCatalog, default_catalog
 from ..geo.coords import propagation_delay_ms
 from ..rng import SeedTree
@@ -63,7 +63,7 @@ def _story_profile(kind: str, utc_offset: float,
             base=float(draw.uniform(0.62, 0.72)),
             bumps=(DiurnalBump(15.0, 7.0, float(draw.uniform(0.45, 0.6))),),
             utc_offset_hours=utc_offset, noise_sigma=0.05)
-    raise ValueError(f"unknown congestion story kind {kind!r}")
+    raise ValidationError(f"unknown congestion story kind {kind!r}")
 
 # Name material for synthetic ASes (all fictional).
 _ISP_STEMS = [

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from .topology import Link, LinkKind
 from .traffic import UtilizationModel
+from ..errors import ValidationError
 
 __all__ = ["LinkObservation", "LinkStateEvaluator"]
 
@@ -113,9 +114,9 @@ class LinkStateEvaluator:
     def residual_mbps(capacity_mbps: float, utilization: float) -> float:
         """Bandwidth a new elastic flow set can claim on this link."""
         if capacity_mbps <= 0:
-            raise ValueError(f"capacity must be positive: {capacity_mbps}")
+            raise ValidationError(f"capacity must be positive: {capacity_mbps}")
         if utilization < 0:
-            raise ValueError(f"utilization must be >= 0: {utilization}")
+            raise ValidationError(f"utilization must be >= 0: {utilization}")
         free = capacity_mbps * (1.0 - utilization)
         # Even on a saturated link, loss-based congestion control lets an
         # aggressive multi-flow test carve out a contested share that
@@ -127,7 +128,7 @@ class LinkStateEvaluator:
     def loss_rate(utilization: float, kind: LinkKind) -> float:
         """Packet loss fraction for a link direction at utilization *u*."""
         if utilization < 0:
-            raise ValueError(f"utilization must be >= 0: {utilization}")
+            raise ValidationError(f"utilization must be >= 0: {utilization}")
         floor = _FLOOR_LOSS[kind]
         burst = _SUBONSET_COEF * utilization ** 4
         if utilization <= _LOSS_ONSET:
@@ -143,7 +144,7 @@ class LinkStateEvaluator:
     def queue_delay_ms(utilization: float, kind: LinkKind) -> float:
         """Queueing delay added by this link direction, in ms."""
         if utilization < 0:
-            raise ValueError(f"utilization must be >= 0: {utilization}")
+            raise ValidationError(f"utilization must be >= 0: {utilization}")
         base = _QUEUE_BASE_MS[kind]
         cap = _QUEUE_CAP_MS[kind]
         u = min(utilization, 0.995)

@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 from .linkstate import LinkObservation, LinkStateEvaluator
 from .routing import Route
 from .topology import Topology
+from ..errors import ValidationError
 
 __all__ = ["PathMetrics", "PathPerformanceModel"]
 
@@ -58,7 +59,7 @@ class PathMetrics:
     def bottleneck(self) -> LinkObservation:
         """The forward-direction link with the least residual bandwidth."""
         if not self.forward:
-            raise ValueError("path has no forward links")
+            raise ValidationError("path has no forward links")
         return min(self.forward, key=lambda obs: obs.residual_mbps)
 
     @property

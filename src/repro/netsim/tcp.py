@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import math
 
-from ..units import MSS_BYTES
+from ..errors import ValidationError
+from ..units import MSS_BYTES, bytes_per_sec_to_mbps, ms_to_s
 
 __all__ = [
     "mathis_throughput_mbps",
@@ -41,12 +42,12 @@ def mathis_throughput_mbps(rtt_ms: float, loss_rate: float,
                            mss_bytes: int = MSS_BYTES) -> float:
     """Mathis et al. square-root law: ``MSS/RTT * sqrt(3/2) / sqrt(p)``."""
     if rtt_ms <= 0:
-        raise ValueError(f"rtt must be positive, got {rtt_ms}")
+        raise ValidationError(f"rtt must be positive, got {rtt_ms}")
     if not 0 <= loss_rate < 1:
-        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        raise ValidationError(f"loss_rate must be in [0, 1), got {loss_rate}")
     p = max(loss_rate, _MIN_LOSS)
-    rate_bytes = (mss_bytes / (rtt_ms / 1000.0)) * math.sqrt(1.5 / p)
-    return rate_bytes * 8.0 / 1e6
+    rate_bytes = (mss_bytes / ms_to_s(rtt_ms)) * math.sqrt(1.5 / p)
+    return bytes_per_sec_to_mbps(rate_bytes)
 
 
 def pftk_throughput_mbps(rtt_ms: float, loss_rate: float,
@@ -58,21 +59,21 @@ def pftk_throughput_mbps(rtt_ms: float, loss_rate: float,
     in segments per second, with b = 2 (delayed ACKs).
     """
     if rtt_ms <= 0:
-        raise ValueError(f"rtt must be positive, got {rtt_ms}")
+        raise ValidationError(f"rtt must be positive, got {rtt_ms}")
     if not 0 <= loss_rate < 1:
-        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
-    rtt_s = rtt_ms / 1000.0
+        raise ValidationError(f"loss_rate must be in [0, 1), got {loss_rate}")
+    rtt_s = ms_to_s(rtt_ms)
     window_limit_bytes_per_s = rwnd_bytes / rtt_s
     p = loss_rate
     if p < _MIN_LOSS:
-        return window_limit_bytes_per_s * 8.0 / 1e6
+        return bytes_per_sec_to_mbps(window_limit_bytes_per_s)
     b = 2.0
     t0 = max(_RTO_MIN_S, 4.0 * rtt_s)
     denom = (rtt_s * math.sqrt(2.0 * b * p / 3.0)
              + t0 * min(1.0, 3.0 * math.sqrt(3.0 * b * p / 8.0)) * p * (1.0 + 32.0 * p * p))
     segments_per_s = 1.0 / denom
     rate_bytes = min(window_limit_bytes_per_s, segments_per_s * mss_bytes)
-    return rate_bytes * 8.0 / 1e6
+    return bytes_per_sec_to_mbps(rate_bytes)
 
 
 def tcp_throughput_mbps(rtt_ms: float, loss_rate: float,
@@ -95,8 +96,8 @@ def multiflow_throughput_mbps(rtt_ms: float, loss_rate: float,
     but cannot exceed what the bottleneck leaves over.
     """
     if n_flows < 1:
-        raise ValueError(f"n_flows must be >= 1, got {n_flows}")
+        raise ValidationError(f"n_flows must be >= 1, got {n_flows}")
     if path_avail_mbps < 0:
-        raise ValueError(f"path_avail_mbps must be >= 0, got {path_avail_mbps}")
+        raise ValidationError(f"path_avail_mbps must be >= 0, got {path_avail_mbps}")
     per_flow = tcp_throughput_mbps(rtt_ms, loss_rate, mss_bytes, rwnd_bytes)
     return min(per_flow * n_flows, path_avail_mbps)

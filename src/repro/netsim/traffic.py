@@ -25,6 +25,7 @@ import numpy as np
 from ..rng import SeedTree
 from ..simclock import is_weekend
 from ..units import HOUR
+from ..errors import ValidationError
 
 __all__ = ["DiurnalBump", "DiurnalProfile", "UtilizationModel", "TrafficConfig"]
 
@@ -44,9 +45,9 @@ class DiurnalBump:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.center_hour < 24.0:
-            raise ValueError(f"center_hour out of range: {self.center_hour}")
+            raise ValidationError(f"center_hour out of range: {self.center_hour}")
         if self.width_hours <= 0:
-            raise ValueError(f"width_hours must be positive: {self.width_hours}")
+            raise ValidationError(f"width_hours must be positive: {self.width_hours}")
 
     def value(self, local_hour: float) -> float:
         """Contribution of this bump at a (fractional) local hour."""
@@ -76,9 +77,9 @@ class DiurnalProfile:
 
     def __post_init__(self) -> None:
         if self.base < 0:
-            raise ValueError(f"base utilization must be >= 0: {self.base}")
+            raise ValidationError(f"base utilization must be >= 0: {self.base}")
         if self.noise_sigma < 0:
-            raise ValueError(f"noise_sigma must be >= 0: {self.noise_sigma}")
+            raise ValidationError(f"noise_sigma must be >= 0: {self.noise_sigma}")
 
     def mean_utilization(self, ts: float) -> float:
         """Noise-free utilization at simulated time *ts* (UTC seconds)."""
@@ -160,7 +161,7 @@ class UtilizationModel:
                     profile: DiurnalProfile) -> None:
         """Assign the load shape of one link direction."""
         if direction not in (0, 1):
-            raise ValueError(f"direction must be 0 or 1, got {direction}")
+            raise ValidationError(f"direction must be 0 or 1, got {direction}")
         self._profiles[(link_id, direction)] = profile
         self._noise.pop((link_id, direction), None)
 
@@ -180,7 +181,10 @@ class UtilizationModel:
         key = (link_id, direction)
         arr = self._noise.get(key)
         if arr is None:
-            gen = self._seeds.generator(f"link-{link_id}-dir-{direction}")
+            # Intentional re-derivation: the noise array is rebuilt from
+            # the same label after remove() so utilization stays stable.
+            gen = self._seeds.generator(f"link-{link_id}-dir-{direction}",
+                                        allow_reuse=True)
             sigma = self.profile(link_id, direction).noise_sigma
             arr = gen.normal(0.0, sigma, size=self.NOISE_HOURS) if sigma > 0 \
                 else np.zeros(self.NOISE_HOURS)
@@ -224,4 +228,4 @@ class TrafficConfig:
                      "daytime_congestion_share", "transit_congested_fraction"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {value}")
+                raise ValidationError(f"{name} must be in [0, 1], got {value}")

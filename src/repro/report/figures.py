@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from .ascii import render_cdf, render_series
+from ..errors import ValidationError
 
 __all__ = ["FigureSeries", "figure_to_text"]
 
@@ -29,7 +30,7 @@ class FigureSeries:
 
     def __post_init__(self) -> None:
         if self.x is not None and len(self.x) != len(self.y):
-            raise ValueError(
+            raise ValidationError(
                 f"series {self.label!r}: x/y length mismatch")
 
     @property

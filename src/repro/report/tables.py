@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence
+from ..errors import ValidationError
 
 __all__ = ["TextTable", "format_percent"]
 
@@ -23,14 +24,14 @@ class TextTable:
     def __init__(self, headers: Sequence[str],
                  title: Optional[str] = None) -> None:
         if not headers:
-            raise ValueError("table needs at least one column")
+            raise ValidationError("table needs at least one column")
         self.title = title
         self.headers = [str(h) for h in headers]
         self._rows: List[List[str]] = []
 
     def add_row(self, values: Sequence[Any]) -> None:
         if len(values) != len(self.headers):
-            raise ValueError(
+            raise ValidationError(
                 f"expected {len(self.headers)} cells, got {len(values)}")
         self._rows.append([_fmt(v) for v in values])
 

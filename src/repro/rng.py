@@ -15,8 +15,11 @@ string label, so:
 from __future__ import annotations
 
 import hashlib
+from typing import Set
 
 import numpy as np
+
+from .errors import ConfigError, ValidationError
 
 __all__ = ["SeedTree", "stable_hash64"]
 
@@ -49,6 +52,7 @@ class SeedTree:
             raise TypeError(f"root_seed must be int, got {type(root_seed).__name__}")
         self._root_seed = root_seed
         self._path = _path
+        self._handed_out: Set[str] = set()
 
     @property
     def root_seed(self) -> int:
@@ -62,7 +66,7 @@ class SeedTree:
 
     def _derive(self, label: str) -> int:
         if not label:
-            raise ValueError("label must be a non-empty string")
+            raise ValidationError("label must be a non-empty string")
         full = f"{self._path}/{label}" if self._path else label
         return (self._root_seed ^ stable_hash64(full)) & 0xFFFF_FFFF_FFFF_FFFF
 
@@ -75,8 +79,25 @@ class SeedTree:
         """Return the derived 64-bit seed for *label* under this node."""
         return self._derive(label)
 
-    def generator(self, label: str) -> np.random.Generator:
-        """Return a fresh, independent generator for *label*."""
+    def generator(self, label: str, *,
+                  allow_reuse: bool = False) -> np.random.Generator:
+        """Return a fresh, independent generator for *label*.
+
+        Requesting the same label twice from one node raises
+        :class:`~repro.errors.ConfigError`: the two call sites would
+        silently share a stream, which is almost always a labelling bug
+        that perturbs every consumer downstream.  Pass
+        ``allow_reuse=True`` at call sites that *intend* to re-derive an
+        identical stream (e.g. rebuilding a cached noise array).
+        """
+        if not allow_reuse:
+            if label in self._handed_out:
+                raise ConfigError(
+                    f"RNG label {label!r} requested twice from seed-tree "
+                    f"node {self._path or '<root>'!r}; two consumers would "
+                    f"share one stream (pass allow_reuse=True if the "
+                    f"re-derivation is intentional)")
+            self._handed_out.add(label)
         return np.random.default_rng(self._derive(label))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

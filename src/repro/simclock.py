@@ -18,6 +18,7 @@ import datetime as _dt
 from dataclasses import dataclass, field
 
 from .units import DAY, HOUR
+from .errors import ValidationError
 
 __all__ = [
     "CAMPAIGN_START",
@@ -50,7 +51,7 @@ def utc_datetime(ts: float) -> _dt.datetime:
 def from_utc_datetime(when: _dt.datetime) -> int:
     """Return simulated epoch seconds for an aware UTC datetime."""
     if when.tzinfo is None:
-        raise ValueError("datetime must be timezone-aware")
+        raise ValidationError("datetime must be timezone-aware")
     return int((when - _EPOCH).total_seconds())
 
 
@@ -102,14 +103,14 @@ class SimClock:
     def advance(self, seconds: float) -> float:
         """Move the clock forward by *seconds* and return the new time."""
         if seconds < 0:
-            raise ValueError(f"cannot advance by negative time: {seconds}")
+            raise ValidationError(f"cannot advance by negative time: {seconds}")
         self.now += seconds
         return self.now
 
     def advance_to(self, ts: float) -> float:
         """Move the clock forward to absolute time *ts*."""
         if ts < self.now:
-            raise ValueError(
+            raise ValidationError(
                 f"cannot rewind clock from {self.now} to {ts}"
             )
         self.now = float(ts)

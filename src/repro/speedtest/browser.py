@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..cloud.vm import VirtualMachine
-from ..errors import SpeedTestError
+from ..errors import SpeedTestError, ValidationError
 from .protocol import SpeedTestEngine, SpeedTestResult
 from .server import SpeedTestServer
 
@@ -48,7 +48,7 @@ class HeadlessBrowser:
 
     def __init__(self, engine: SpeedTestEngine, max_retries: int = 1) -> None:
         if max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+            raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
         self.engine = engine
         self.max_retries = max_retries
 

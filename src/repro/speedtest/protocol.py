@@ -25,7 +25,7 @@ import numpy as np
 
 from ..cloud.api import CloudPlatform, Direction
 from ..cloud.vm import VirtualMachine
-from ..errors import SpeedTestError
+from ..errors import SpeedTestError, ValidationError
 from ..netsim.pathmodel import PathMetrics
 from ..netsim.routing import Route
 from ..netsim.tcp import multiflow_throughput_mbps
@@ -58,17 +58,17 @@ class SpeedTestConfig:
 
     def __post_init__(self) -> None:
         if self.n_flows < 1:
-            raise ValueError(f"n_flows must be >= 1, got {self.n_flows}")
+            raise ValidationError(f"n_flows must be >= 1, got {self.n_flows}")
         if self.max_flows < self.n_flows:
-            raise ValueError("max_flows must be >= n_flows")
+            raise ValidationError("max_flows must be >= n_flows")
         if not 0 <= self.failure_rate < 1:
-            raise ValueError(
+            raise ValidationError(
                 f"failure_rate must be in [0, 1), got {self.failure_rate}")
 
     def flows_for_rtt(self, rtt_ms: float) -> int:
         """Connections the test opens for a path of the given RTT."""
         if rtt_ms <= 0:
-            raise ValueError(f"rtt must be positive, got {rtt_ms}")
+            raise ValidationError(f"rtt must be positive, got {rtt_ms}")
         scale = max(1.0, rtt_ms / self.flow_scale_rtt_ms)
         return min(self.max_flows, int(round(self.n_flows * scale)))
 

@@ -20,12 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
-
+from ..errors import ValidationError
 from ..netsim.addressing import format_ip
 from ..netsim.routing import GraphMode, TierPolicy
 from ..netsim.topology import Topology
-from ..rng import SeedTree, stable_hash64
+from ..rng import SeedTree
 from .prefix2as import Prefix2AS
 from .traceroute import Scamper, Traceroute
 
@@ -48,11 +47,13 @@ class AliasResolver:
         for name, value in (("miss_rate", miss_rate),
                             ("loopback_miss_rate", loopback_miss_rate)):
             if not 0 <= value < 1:
-                raise ValueError(f"{name} must be in [0, 1), got {value}")
+                raise ValidationError(f"{name} must be in [0, 1), got {value}")
         self._topo = topology
         self.miss_rate = miss_rate
         self.loopback_miss_rate = loopback_miss_rate
-        self._seed = (seeds or SeedTree(0)).seed("alias-resolver")
+        # Re-rooting at the derived seed keeps per-ip streams identical
+        # to the historical `seed ^ stable_hash64(label)` derivation.
+        self._rng_tree = SeedTree((seeds or SeedTree(0)).seed("alias-resolver"))
         self._cache: Dict[int, FrozenSet[int]] = {}
 
     def resolve(self, ip: int) -> FrozenSet[int]:
@@ -68,8 +69,7 @@ class AliasResolver:
         iface = self._topo.interface_by_ip(ip)
         loopback = (self._topo.pop(iface.pop_id).loopback_ip
                     if iface is not None else None)
-        rng = np.random.default_rng(
-            self._seed ^ stable_hash64(f"alias:{ip}"))
+        rng = self._rng_tree.generator(f"alias:{ip}")
         kept: Set[int] = {ip}
         for alias in sorted(truth):
             if alias == ip:

@@ -20,6 +20,7 @@ import numpy as np
 from ..netsim.pathmodel import PathMetrics
 from ..rng import SeedTree
 from ..units import MSS_BYTES
+from ..errors import ValidationError
 
 __all__ = ["TcpFlow", "FlowCapture", "estimate_rtt_ms", "estimate_loss_rate"]
 
@@ -49,7 +50,7 @@ class FlowCapture:
     def __init__(self, seeds: Optional[SeedTree] = None,
                  rtt_samples_per_flow: int = 12) -> None:
         if rtt_samples_per_flow < 1:
-            raise ValueError("need at least one RTT sample per flow")
+            raise ValidationError("need at least one RTT sample per flow")
         self._rng = (seeds or SeedTree(0)).generator("flow-capture")
         self.rtt_samples_per_flow = rtt_samples_per_flow
 
@@ -58,9 +59,9 @@ class FlowCapture:
                 direction: str) -> List[TcpFlow]:
         """Synthesize the flows tcpdump would have captured."""
         if n_flows < 1:
-            raise ValueError(f"n_flows must be >= 1, got {n_flows}")
+            raise ValidationError(f"n_flows must be >= 1, got {n_flows}")
         if total_bytes < 0 or duration_s <= 0:
-            raise ValueError("bytes must be >= 0 and duration positive")
+            raise ValidationError("bytes must be >= 0 and duration positive")
         # Parallel connections do not split bytes exactly evenly.
         shares = self._rng.dirichlet(np.full(n_flows, 8.0))
         flows: List[TcpFlow] = []
@@ -94,10 +95,10 @@ def estimate_rtt_ms(flows: Sequence[TcpFlow]) -> float:
     single weird connection.
     """
     if not flows:
-        raise ValueError("cannot estimate RTT from zero flows")
+        raise ValidationError("cannot estimate RTT from zero flows")
     mins = [min(f.rtt_samples_ms) for f in flows if f.rtt_samples_ms]
     if not mins:
-        raise ValueError("flows carry no RTT samples")
+        raise ValidationError("flows carry no RTT samples")
     return float(np.median(mins))
 
 
@@ -108,7 +109,7 @@ def estimate_loss_rate(flows: Sequence[TcpFlow]) -> float:
     which is faithful to header-based estimation.
     """
     if not flows:
-        raise ValueError("cannot estimate loss from zero flows")
+        raise ValidationError("cannot estimate loss from zero flows")
     packets = sum(f.packets for f in flows)
     retx = sum(f.retransmissions for f in flows)
     if packets == 0:

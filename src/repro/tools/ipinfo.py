@@ -17,6 +17,7 @@ from ..netsim.asn import ASType
 from ..netsim.topology import Topology
 from ..rng import SeedTree, stable_hash64
 from .prefix2as import Prefix2AS
+from ..errors import ValidationError
 
 __all__ = ["BusinessType", "IpInfoRecord", "IpInfoDatabase"]
 
@@ -65,7 +66,7 @@ class IpInfoDatabase:
                  unknown_rate: float = 0.07,
                  seeds: Optional[SeedTree] = None) -> None:
         if not 0 <= unknown_rate < 1:
-            raise ValueError(
+            raise ValidationError(
                 f"unknown_rate must be in [0, 1), got {unknown_rate}")
         self._topo = topology
         self._p2a = prefix2as

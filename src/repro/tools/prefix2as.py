@@ -14,6 +14,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from ..netsim.addressing import Prefix, PrefixTrie
 from ..netsim.topology import Topology
+from ..errors import ValidationError
 
 __all__ = ["Prefix2AS", "build_prefix2as"]
 
@@ -27,7 +28,7 @@ class Prefix2AS:
     def add(self, prefix: Prefix, asn: int) -> None:
         """Register an announced prefix."""
         if asn <= 0:
-            raise ValueError(f"ASN must be positive, got {asn}")
+            raise ValidationError(f"ASN must be positive, got {asn}")
         self._trie.insert(prefix, asn)
 
     def lookup(self, ip: int) -> Optional[int]:

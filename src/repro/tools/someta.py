@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from ..cloud.vm import VirtualMachine
 from ..rng import SeedTree
+from ..errors import ValidationError
 
 __all__ = ["SystemSnapshot", "SometaRecorder"]
 
@@ -59,7 +60,7 @@ class SometaRecorder:
         background daemons add a small noisy baseline on top.
         """
         if not 0 <= test_cpu_utilization <= 1:
-            raise ValueError(
+            raise ValidationError(
                 f"cpu utilization must be in [0, 1], got {test_cpu_utilization}")
         background = float(abs(self._rng.normal(0.03, 0.015)))
         cpu = min(1.0, test_cpu_utilization + background)

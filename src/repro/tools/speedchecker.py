@@ -18,7 +18,7 @@ import numpy as np
 
 from ..cloud.api import CloudPlatform, Direction
 from ..cloud.tiers import NetworkTier
-from ..errors import NoRouteError
+from ..errors import NoRouteError, ValidationError
 from ..rng import SeedTree
 from ..simclock import CAMPAIGN_START
 from ..units import DAY
@@ -67,7 +67,7 @@ class Speedchecker:
                  seeds: Optional[SeedTree] = None,
                  max_vps: int = 400) -> None:
         if max_vps < 1:
-            raise ValueError(f"max_vps must be >= 1, got {max_vps}")
+            raise ValidationError(f"max_vps must be >= 1, got {max_vps}")
         self.platform = platform
         self._seeds = seeds or SeedTree(0)
         self._rng = self._seeds.generator("speedchecker")

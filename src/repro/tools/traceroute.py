@@ -20,6 +20,7 @@ from ..netsim.linkstate import LinkStateEvaluator
 from ..netsim.routing import GraphMode, Route, Router, TierPolicy
 from ..netsim.topology import Topology
 from ..rng import SeedTree
+from ..errors import ValidationError
 
 __all__ = ["Hop", "Traceroute", "Scamper"]
 
@@ -80,7 +81,7 @@ class Scamper:
                  seeds: Optional[SeedTree] = None,
                  no_response_rate: float = 0.02) -> None:
         if not 0 <= no_response_rate < 1:
-            raise ValueError(
+            raise ValidationError(
                 f"no_response_rate must be in [0, 1), got {no_response_rate}")
         self._topo = topology
         self._router = router

@@ -13,6 +13,7 @@ leak into the rest of the code base.
 """
 
 from __future__ import annotations
+from .errors import ValidationError
 
 __all__ = [
     "KBIT", "MBIT", "GBIT",
@@ -22,6 +23,7 @@ __all__ = [
     "FIBER_KM_PER_MS", "ROUTE_INFLATION",
     "mbps_to_bytes_per_sec", "bytes_per_sec_to_mbps",
     "bytes_to_gb", "gb_to_bytes",
+    "ms_to_s", "s_to_ms",
     "mbps", "gbps", "kbps",
     "transfer_time_s", "transferred_bytes",
 ]
@@ -80,6 +82,16 @@ def bytes_per_sec_to_mbps(rate_bps: float) -> float:
     return rate_bps * 8.0 / 1e6
 
 
+def ms_to_s(value_ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value_ms / 1000.0
+
+
+def s_to_ms(value_s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return value_s * 1000.0
+
+
 def bytes_to_gb(n_bytes: float) -> float:
     """Convert bytes to decimal gigabytes (how egress is billed)."""
     return n_bytes / GB
@@ -93,16 +105,17 @@ def gb_to_bytes(n_gb: float) -> float:
 def transfer_time_s(n_bytes: float, rate_mbps: float) -> float:
     """Seconds needed to move *n_bytes* at *rate_mbps*.
 
-    Raises :class:`ValueError` for a non-positive rate, because a zero
-    rate would silently yield ``inf`` and poison schedule arithmetic.
+    Raises :class:`~repro.errors.ValidationError` for a non-positive
+    rate, because a zero rate would silently yield ``inf`` and poison
+    schedule arithmetic.
     """
     if rate_mbps <= 0:
-        raise ValueError(f"rate must be positive, got {rate_mbps}")
+        raise ValidationError(f"rate must be positive, got {rate_mbps}")
     return n_bytes / mbps_to_bytes_per_sec(rate_mbps)
 
 
 def transferred_bytes(rate_mbps: float, duration_s: float) -> float:
     """Bytes moved at *rate_mbps* over *duration_s* seconds."""
     if duration_s < 0:
-        raise ValueError(f"duration must be >= 0, got {duration_s}")
+        raise ValidationError(f"duration must be >= 0, got {duration_s}")
     return mbps_to_bytes_per_sec(rate_mbps) * duration_s

@@ -53,3 +53,38 @@ def test_quickloop_command(capsys):
     out = capsys.readouterr().out
     assert "tests completed" in out
     assert "congested s-days" in out
+
+
+def test_lint_command_clean_tree(capsys):
+    import pathlib
+
+    import repro
+
+    src = pathlib.Path(repro.__file__).parent
+    assert main(["lint", str(src)]) == 0
+    assert "repro.lint: clean" in capsys.readouterr().out
+
+
+def test_lint_command_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR002", "RPR003",
+                 "RPR004", "RPR005", "RPR006"):
+        assert code in out
+
+
+def test_lint_command_flags_violation(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nts = time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out
+
+
+def test_lint_command_select(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nts = time.time()\nraise ValueError('x')\n")
+    assert main(["lint", str(bad), "--select", "RPR003"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR003" in out
+    assert "RPR001" not in out

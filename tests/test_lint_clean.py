@@ -1,0 +1,49 @@
+"""CI gate: the whole source tree must satisfy its own invariants.
+
+This is the test that makes ``repro.lint`` binding.  Any new
+nondeterministic call, inline unit constant, builtin raise, bare except,
+unseeded generator, or upward layer import anywhere under ``src/repro``
+fails here with the offending file, line, and rule code.
+"""
+
+from pathlib import Path
+
+from repro.lint import run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "lint-baseline.txt"
+
+
+def test_source_tree_is_lint_clean():
+    result = run([SRC], baseline=BASELINE if BASELINE.exists() else None,
+                 root=REPO_ROOT)
+    assert result.files_checked > 50
+    formatted = "\n".join(f.format() for f in result.findings)
+    assert result.ok, (
+        f"repro.lint found {len(result.findings)} new invariant "
+        f"violation(s):\n{formatted}\n"
+        f"Fix them, add a `# repro: noqa RPRxxx` with justification, or "
+        f"(last resort) baseline them in lint-baseline.txt."
+    )
+
+
+def test_injected_violations_are_caught():
+    """Every violation class the acceptance criteria name must trip."""
+    from repro.lint import lint_text
+
+    injected = {
+        "RPR001": "import time\nts = time.time()\n",
+        "RPR002": "def f(rate_mbps):\n    return rate_mbps * 1e6\n",
+        "RPR003": "raise ValueError('x')\n",
+        "RPR005": "try:\n    pass\nexcept:\n    pass\n",
+        "RPR006": "import numpy as np\ng = np.random.default_rng()\n",
+    }
+    for code, source in injected.items():
+        found = [f.code for f in lint_text(source,
+                                           module="repro.core.injected")]
+        assert code in found, f"{code} fixture was not caught: {found}"
+
+    layering = lint_text("from repro.core import clasp\n",
+                         module="repro.netsim.injected")
+    assert [f.code for f in layering] == ["RPR004"]

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.errors import ConfigError
 from repro.rng import SeedTree, stable_hash64
 
 
@@ -65,3 +66,38 @@ def test_seed_path_property():
 def test_seed_in_64bit_range(label):
     seed = SeedTree(999).seed(label)
     assert 0 <= seed < 2 ** 64
+
+
+def test_label_reuse_raises_config_error():
+    tree = SeedTree(42)
+    tree.generator("noise")
+    with pytest.raises(ConfigError, match="noise"):
+        tree.generator("noise")
+
+
+def test_label_reuse_allowed_when_explicit():
+    tree = SeedTree(42)
+    a = tree.generator("noise").random(4)
+    b = tree.generator("noise", allow_reuse=True).random(4)
+    assert np.array_equal(a, b)
+
+
+def test_distinct_labels_do_not_collide():
+    tree = SeedTree(42)
+    tree.generator("a")
+    tree.generator("b")  # no error
+
+
+def test_sibling_nodes_track_labels_independently():
+    tree = SeedTree(42)
+    tree.child("net").generator("noise")
+    tree.child("cloud").generator("noise")  # different nodes: fine
+
+
+def test_collision_error_is_repro_error():
+    from repro.errors import ReproError
+
+    tree = SeedTree(1)
+    tree.generator("x")
+    with pytest.raises(ReproError):
+        tree.generator("x")
