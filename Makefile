@@ -1,0 +1,19 @@
+# Development entry points.  `make check` is the single gate CI and
+# contributors run: repro.lint invariants, then the test suite (with
+# the repro.faults coverage floor when pytest-cov is available).
+
+PYTHON ?= python
+
+.PHONY: check lint test golden
+
+check:
+	$(PYTHON) scripts/check.py
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/repro
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -q
+
+golden:
+	$(PYTHON) scripts/regen_golden.py

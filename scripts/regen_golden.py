@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate the golden dataset digests under ``tests/golden/``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+Only commit the result when a behaviour change was *intentional*: the
+digests are the determinism contract that makes silent drift in the
+campaign pipeline a tier-1 failure.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.core.export import dataset_digest          # noqa: E402
+from repro.experiments.scenario import build_scenario  # noqa: E402
+from repro.faults import FaultPlan                     # noqa: E402
+
+GOLDEN_PATH = (pathlib.Path(__file__).resolve().parent.parent
+               / "tests" / "golden" / "digests.json")
+
+#: The pinned campaign shape.  Keep in sync with tests/test_golden.py.
+SEED = 11
+SCALE = 0.05
+REGION = "us-west1"
+BUDGET_SERVERS = 8
+DAYS = 2
+
+
+def run_campaign(faults):
+    scenario = build_scenario(seed=SEED, scale=SCALE, faults=faults)
+    clasp = scenario.clasp
+    selection = clasp.select_topology_servers(REGION)
+    plan = clasp.deploy_topology(REGION, selection,
+                                 budget_servers=BUDGET_SERVERS)
+    return clasp.run_campaign([plan], days=DAYS)
+
+
+def main() -> int:
+    golden = {
+        "_comment": f"Golden dataset digests: seed={SEED} scale={SCALE} "
+                    f"{REGION} budget_servers={BUDGET_SERVERS} "
+                    f"days={DAYS}. Regenerate with "
+                    f"scripts/regen_golden.py only when an intentional "
+                    f"behaviour change shifts the dataset.",
+        "faults_off": dataset_digest(run_campaign(None)),
+        "faults_default": dataset_digest(
+            run_campaign(FaultPlan.default())),
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1) + "\n",
+                           encoding="utf-8")
+    print(json.dumps(golden, indent=1))
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

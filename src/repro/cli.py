@@ -6,6 +6,10 @@ Subcommands:
   ... ``fig8``) and print its rendered block.
 * ``quickloop`` - the quickstart loop (pilot scan, campaign, detection)
   with a compact report.
+* ``campaign`` - run one regional campaign, optionally under the
+  deterministic fault-injection plan (``--faults``), print the
+  completed/retried/lost accounting and the dataset digest, and
+  optionally export the dataset (``--export DIR``).
 * ``world`` - generate a scenario and print its inventory.
 * ``cost`` - estimate the cloud bill for a campaign shape.
 * ``lint`` - run the :mod:`repro.lint` invariant checker over the
@@ -49,6 +53,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="pilot scan + campaign + detection")
     p_loop.add_argument("--region", default="us-west1")
     common(p_loop)
+
+    p_camp = sub.add_parser("campaign",
+                            help="run one campaign, optionally with "
+                                 "deterministic fault injection")
+    p_camp.add_argument("--region", default="us-west1")
+    p_camp.add_argument("--servers", type=int, default=8,
+                        help="server budget for the deployment")
+    p_camp.add_argument("--faults", choices=("off", "default", "heavy"),
+                        default="off",
+                        help="fault-injection plan (seed-deterministic)")
+    p_camp.add_argument("--export", metavar="DIR",
+                        help="export the dataset to this directory")
+    common(p_camp)
 
     p_world = sub.add_parser("world",
                              help="generate a world and print inventory")
@@ -107,6 +124,45 @@ def _cmd_quickloop(args: argparse.Namespace) -> int:
     table.add_row(["congested servers", len(report.congested_pairs())])
     table.add_row(["cloud bill", f"${clasp.total_cost_usd():,.2f}"])
     print(table.render())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.core.export import dataset_digest, export_dataset
+    from repro.experiments import build_scenario
+    from repro.faults import FaultPlan
+    from repro.report.tables import TextTable
+
+    plans = {"off": None, "default": FaultPlan.default(),
+             "heavy": FaultPlan.heavy()}
+    fault_plan = plans[args.faults]
+    scenario = build_scenario(seed=args.seed, scale=args.scale,
+                              faults=fault_plan)
+    clasp = scenario.clasp
+    selection = clasp.select_topology_servers(args.region)
+    plan = clasp.deploy_topology(args.region, selection,
+                                 budget_servers=args.servers)
+    dataset = clasp.run_campaign([plan], days=args.days)
+    table = TextTable(["metric", "value"],
+                      title=f"{args.region}: {args.days}-day campaign "
+                            f"(faults={args.faults})")
+    table.add_row(["servers measured", len(plan.server_ids)])
+    table.add_row(["tests completed", dataset.completed_tests])
+    table.add_row(["tests failed", dataset.failed_tests])
+    table.add_row(["tests retried", dataset.retried_tests])
+    table.add_row(["slots lost", dataset.lost_tests])
+    for reason, count in sorted(dataset.lost_by_reason().items()):
+        table.add_row([f"  lost to {reason}", count])
+    injector = clasp.fault_injector
+    if injector is not None:
+        for kind, count in sorted(injector.summary().items()):
+            table.add_row([f"  injected {kind}", count])
+    table.add_row(["dataset digest", dataset_digest(dataset)[:16]])
+    table.add_row(["cloud bill", f"${clasp.total_cost_usd():,.2f}"])
+    print(table.render())
+    if args.export:
+        manifest = export_dataset(dataset, args.export)
+        print(f"exported to {manifest.parent}")
     return 0
 
 
@@ -177,6 +233,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "experiment": _cmd_experiment,
     "quickloop": _cmd_quickloop,
+    "campaign": _cmd_campaign,
     "world": _cmd_world,
     "cost": _cmd_cost,
     "lint": _cmd_lint,

@@ -157,6 +157,19 @@ class CloudPlatform:
         vm.status = VMStatus.TERMINATED
         vm.terminated_ts = ts
 
+    def preempt_vm(self, name: str, ts: float) -> None:
+        """The provider reclaims a running VM (spot/maintenance event).
+
+        The VM stops billing and serving work; callers recover by
+        provisioning a replacement via
+        :meth:`~repro.core.orchestrator.Orchestrator.replace_vm`.
+        """
+        vm = self.get_vm(name)
+        if not vm.is_running:
+            raise CloudError(f"VM {name} is not running")
+        vm.status = VMStatus.PREEMPTED
+        vm.terminated_ts = ts
+
     def get_vm(self, name: str) -> VirtualMachine:
         try:
             return self._vms[name]

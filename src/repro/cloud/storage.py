@@ -10,12 +10,15 @@ like the real thing, without holding artefact payloads in memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
-from ..errors import StorageError
+from ..errors import StorageError, TransientUploadError
 from .billing import CostTracker
 
-__all__ = ["StorageObject", "StorageBucket", "StorageService"]
+__all__ = ["StorageObject", "StorageBucket", "StorageService", "UploadFaultHook"]
+
+#: Fault hook signature: ``(bucket_name, key, attempt)`` -> fail?
+UploadFaultHook = Callable[[str, str, int], bool]
 
 
 @dataclass(frozen=True)
@@ -31,20 +34,36 @@ class StorageObject:
 class StorageBucket:
     """A named bucket pinned to a region."""
 
-    def __init__(self, name: str, region_name: str) -> None:
+    def __init__(self, name: str, region_name: str,
+                 fault_hook: Optional[UploadFaultHook] = None) -> None:
         if not name:
             raise StorageError("bucket name cannot be empty")
         self.name = name
         self.region_name = region_name
         self._objects: Dict[str, StorageObject] = {}
+        self.fault_hook = fault_hook
+        self._upload_attempts: Dict[str, int] = {}
 
     def upload(self, key: str, size_bytes: int, ts: float,
                content_kind: str = "raw") -> StorageObject:
-        """Store object metadata; overwrites an existing key."""
+        """Store object metadata; overwrites an existing key.
+
+        With a fault hook installed, an upload attempt may raise
+        :class:`~repro.errors.TransientUploadError`; the attempt
+        counter advances per call, so a bounded-retry caller re-rolls
+        an independent decision each time.
+        """
         if not key:
             raise StorageError("object key cannot be empty")
         if size_bytes < 0:
             raise StorageError(f"object size must be >= 0: {size_bytes}")
+        if self.fault_hook is not None:
+            attempt = self._upload_attempts.get(key, 0)
+            self._upload_attempts[key] = attempt + 1
+            if self.fault_hook(self.name, key, attempt):
+                raise TransientUploadError(
+                    f"upload of {key!r} to bucket {self.name} failed "
+                    f"(attempt {attempt + 1})")
         obj = StorageObject(key, int(size_bytes), ts, content_kind)
         self._objects[key] = obj
         return obj
@@ -84,11 +103,18 @@ class StorageService:
     def __init__(self, cost_tracker: Optional[CostTracker] = None) -> None:
         self._buckets: Dict[str, StorageBucket] = {}
         self._costs = cost_tracker
+        self._fault_hook: Optional[UploadFaultHook] = None
+
+    def set_fault_hook(self, hook: Optional[UploadFaultHook]) -> None:
+        """Install a deterministic upload-fault hook on every bucket."""
+        self._fault_hook = hook
+        for bucket in self._buckets.values():
+            bucket.fault_hook = hook
 
     def create_bucket(self, name: str, region_name: str) -> StorageBucket:
         if name in self._buckets:
             raise StorageError(f"bucket {name!r} already exists")
-        bucket = StorageBucket(name, region_name)
+        bucket = StorageBucket(name, region_name, fault_hook=self._fault_hook)
         self._buckets[name] = bucket
         return bucket
 

@@ -6,7 +6,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import CloudError
+from ..errors import CloudError, VMPreemptedError
 from .machinetypes import MachineType
 from .nic import NetworkInterface
 from .regions import Zone
@@ -18,6 +18,7 @@ __all__ = ["VMStatus", "VirtualMachine"]
 class VMStatus(enum.Enum):
     PROVISIONING = "provisioning"
     RUNNING = "running"
+    PREEMPTED = "preempted"
     TERMINATED = "terminated"
 
 
@@ -49,6 +50,8 @@ class VirtualMachine:
 
     def require_running(self) -> None:
         """Raise unless the VM can serve work."""
+        if self.status is VMStatus.PREEMPTED:
+            raise VMPreemptedError(f"VM {self.name} was preempted")
         if not self.is_running:
             raise CloudError(f"VM {self.name} is {self.status.value}")
 

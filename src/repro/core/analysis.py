@@ -123,8 +123,8 @@ class TierComparison:
         return sorted(self.delta_download)
 
 
-def tier_comparison(dataset: CampaignDataset, region: str
-                    ) -> TierComparison:
+def tier_comparison(dataset: CampaignDataset, region: str,
+                    min_matched_hours: int = 1) -> TierComparison:
     """Pair premium/standard measurements taken in the same hour.
 
     Relative difference (paper's definition):
@@ -132,7 +132,14 @@ def tier_comparison(dataset: CampaignDataset, region: str
     download, upload, latency.  Negative download/upload delta means
     the standard tier was faster; negative latency delta means the
     premium tier had lower latency.
+
+    Servers whose premium/standard series overlap in fewer than
+    *min_matched_hours* hours (e.g. one side lost to faults) are
+    dropped rather than contributing near-empty delta arrays.
     """
+    if min_matched_hours < 1:
+        raise AnalysisError(
+            f"min_matched_hours must be >= 1, got {min_matched_hours}")
     comparison = TierComparison(region=region)
     prem_pairs = {p[1]: p for p in dataset.pairs(
         region=region, tier=NetworkTier.PREMIUM)}
@@ -145,7 +152,7 @@ def tier_comparison(dataset: CampaignDataset, region: str
         std_hours = (std["ts"] // HOUR).astype(int)
         common, prem_idx, std_idx = np.intersect1d(
             prem_hours, std_hours, return_indices=True)
-        if common.size == 0:
+        if common.size < min_matched_hours:
             continue
         with np.errstate(divide="ignore", invalid="ignore"):
             d_down = (prem["download"][prem_idx] - std["download"][std_idx]) \

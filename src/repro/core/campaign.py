@@ -8,6 +8,12 @@ egress, storage), and processed records land in the time-series store.
 
 :class:`CampaignDataset` is the analysis-facing product: a tagged
 record table plus per-server metadata (timezone, AS, business type).
+
+With a :class:`~repro.faults.FaultPlan`, the runner also survives
+injected faults: preempted VMs are re-provisioned (inheriting their
+server list), slow-starting replacements and failed tests are tagged
+as :class:`~repro.core.records.LostRecord` rows instead of crashing
+the campaign, and bucket uploads retry with deterministic backoff.
 """
 
 from __future__ import annotations
@@ -19,16 +25,19 @@ import numpy as np
 
 from ..cloud.api import CloudPlatform
 from ..cloud.tiers import NetworkTier
-from ..errors import MissingEntryError, SpeedTestError, ValidationError
+from ..cloud.vm import VirtualMachine
+from ..errors import (MissingEntryError, SpeedTestError,
+                      TransientUploadError, ValidationError)
+from ..faults import FaultInjector, FaultPlan
 from ..rng import SeedTree
 from ..simclock import CAMPAIGN_START, SimClock
 from ..speedtest.browser import HeadlessBrowser
 from ..speedtest.catalog import ServerCatalog
 from ..speedtest.protocol import SpeedTestEngine
 from ..units import DAY, HOUR
-from .orchestrator import DeploymentPlan
-from .records import MeasurementRecord, ServerMeta
-from .scheduler import HourlySchedule
+from .orchestrator import DeploymentPlan, Orchestrator
+from .records import LostRecord, MeasurementRecord, ServerMeta
+from .scheduler import HourlySchedule, TestSlot
 from .tsdb import Table, TimeSeriesDB
 
 __all__ = ["CampaignConfig", "CampaignDataset", "CampaignRunner"]
@@ -74,6 +83,8 @@ class CampaignDataset:
         self.servers: Dict[str, ServerMeta] = {}
         self.failed_tests = 0
         self.completed_tests = 0
+        self.retried_tests = 0
+        self.lost: List[LostRecord] = []
 
     # ------------------------------------------------------------------
 
@@ -94,6 +105,23 @@ class CampaignDataset:
                            rec.latency_ms, rec.download_loss_rate,
                            rec.upload_loss_rate))
         self.completed_tests += 1
+
+    def mark_lost(self, ts: float, region: str, vm_name: str,
+                  server_id: str, reason: str) -> None:
+        """Tag one scheduled slot as lost rather than dropping it."""
+        self.lost.append(LostRecord(ts=ts, region=region, vm_name=vm_name,
+                                    server_id=server_id, reason=reason))
+
+    @property
+    def lost_tests(self) -> int:
+        return len(self.lost)
+
+    def lost_by_reason(self) -> Dict[str, int]:
+        """``reason -> count`` over all lost slots."""
+        out: Dict[str, int] = {}
+        for rec in self.lost:
+            out[rec.reason] = out.get(rec.reason, 0) + 1
+        return out
 
     # ------------------------------------------------------------------
     # convenience accessors used throughout the analyses
@@ -128,16 +156,50 @@ class CampaignDataset:
 
 
 class CampaignRunner:
-    """Executes deployment plans hour by hour."""
+    """Executes deployment plans hour by hour.
+
+    When given a :class:`~repro.faults.FaultPlan` (or a ready-made
+    :class:`~repro.faults.FaultInjector`), the runner wires the fault
+    streams into the speed-test engine, the storage service, and the
+    link-state evaluator, and recovers from every injected fault kind:
+    the campaign always completes, with unusable hour slots tagged in
+    ``dataset.lost``.
+    """
 
     def __init__(self, platform: CloudPlatform, catalog: ServerCatalog,
                  engine: SpeedTestEngine,
-                 seeds: Optional[SeedTree] = None) -> None:
+                 seeds: Optional[SeedTree] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 injector: Optional[FaultInjector] = None,
+                 orchestrator: Optional[Orchestrator] = None) -> None:
         self.platform = platform
         self.catalog = catalog
         self.engine = engine
-        self.browser = HeadlessBrowser(engine)
         self._seeds = seeds or SeedTree(0)
+        if injector is None and fault_plan is not None and fault_plan.enabled:
+            injector = FaultInjector(fault_plan,
+                                     self._seeds.child("faults"))
+        self.injector = injector
+        self.orchestrator = orchestrator
+        if self.injector is not None:
+            plan = self.injector.plan
+            self.browser = HeadlessBrowser(engine,
+                                           max_retries=plan.max_retries,
+                                           backoff=self.injector.backoff_s)
+            self._wire_injector()
+        else:
+            self.browser = HeadlessBrowser(engine)
+
+    def _wire_injector(self) -> None:
+        """Attach the injector's fault streams to every injection site."""
+        assert self.injector is not None
+        if self.engine.injector is None:
+            self.engine.injector = self.injector
+        self.platform.storage.set_fault_hook(self.injector.upload_fails)
+        self.platform.evaluator.set_flap_hook(
+            self.injector.link_flap_utilization)
+        if self.orchestrator is None:
+            self.orchestrator = Orchestrator(self.platform)
 
     # ------------------------------------------------------------------
 
@@ -175,15 +237,102 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
 
+    def _mark_hour_lost(self, dataset: CampaignDataset, region: str,
+                        vm_name: str, slots: Sequence[TestSlot],
+                        reason: str) -> None:
+        for slot in slots:
+            dataset.mark_lost(slot.ts, region, vm_name,
+                              slot.server_id, reason)
+
+    def _handle_preemption(self, plan: DeploymentPlan, sched_name: str,
+                           vm: VirtualMachine, hour_start: float,
+                           current_vm: Dict[str, VirtualMachine],
+                           ready_ts: Dict[str, float],
+                           replace_counts: Dict[str, int]) -> None:
+        """Re-provision a preempted VM and record when it can serve.
+
+        The replacement inherits the old VM's server assignment via
+        :meth:`Orchestrator.replace_vm`.  It becomes usable only after
+        a deterministic slow-start delay; hours before that are tagged
+        ``slow-start`` by the caller.
+        """
+        assert self.injector is not None and self.orchestrator is not None
+        self.platform.preempt_vm(vm.name, hour_start)
+        replace_counts[sched_name] += 1
+        replacement = self.orchestrator.replace_vm(
+            plan, vm, hour_start,
+            name=f"{sched_name}-r{replace_counts[sched_name]}")
+        current_vm[sched_name] = replacement
+        extra_hours = self.injector.slow_start_hours(replacement.name,
+                                                     hour_start)
+        ready_ts[sched_name] = hour_start + (1 + extra_hours) * HOUR
+
+    def _run_hour(self, dataset: CampaignDataset, region: str,
+                  vm: VirtualMachine, slots: Sequence[TestSlot],
+                  cfg: CampaignConfig) -> int:
+        """Run one VM-hour of tests; returns artefact bytes produced."""
+        artefact_bytes = 0
+        for slot in slots:
+            try:
+                artefacts = self.browser.run_test(
+                    vm, self.catalog.get(slot.server_id), slot.ts)
+            except SpeedTestError:
+                dataset.failed_tests += 1
+                dataset.mark_lost(slot.ts, region, vm.name,
+                                  slot.server_id, "speedtest")
+                continue
+            if artefacts.retried:
+                dataset.retried_tests += 1
+            result = artefacts.result
+            dataset.record(MeasurementRecord.from_result(
+                result, region, vm.tier))
+            artefact_bytes += artefacts.upload_size_bytes
+            if cfg.charge_billing:
+                # Only egress (the upload phase) is billed.
+                self.platform.costs.charge_egress(
+                    result.upload_bytes, vm.tier)
+        return artefact_bytes
+
+    def _upload_hour(self, dataset: CampaignDataset, plan: DeploymentPlan,
+                     vm: VirtualMachine, schedule: HourlySchedule,
+                     hour_start: float, artefact_bytes: int,
+                     cfg: CampaignConfig) -> None:
+        """Ship the hour's compressed artefacts, retrying with backoff."""
+        upload_ts = schedule.upload_ts(hour_start)
+        attempts = 1
+        if self.injector is not None:
+            attempts = self.injector.plan.max_retries + 1
+        ts = upload_ts
+        for attempt in range(attempts):
+            try:
+                plan.bucket.upload(
+                    key=f"{vm.name}/{int(hour_start)}.tar.gz",
+                    size_bytes=artefact_bytes, ts=ts)
+            except TransientUploadError:
+                if self.injector is not None:
+                    ts = ts + self.injector.backoff_s(attempt)
+                continue
+            if cfg.charge_billing:
+                self.platform.costs.charge_intra_region(artefact_bytes)
+            return
+        dataset.mark_lost(upload_ts, plan.region, vm.name, "*", "upload")
+
     def run(self, plans: Sequence[DeploymentPlan],
             config: Optional[CampaignConfig] = None) -> CampaignDataset:
-        """Run the whole campaign and return the dataset."""
+        """Run the whole campaign and return the dataset.
+
+        With an injector attached, faults never abort the run: lost
+        hour slots are tagged in ``dataset.lost`` and preempted VMs
+        are replaced in place (same server list, fresh name).
+        """
         cfg = config or CampaignConfig()
         dataset = CampaignDataset(cfg.start_ts, cfg.end_ts)
         self._register_metadata(dataset, plans)
         schedules = self._build_schedules(plans)
-        vm_by_name = {vm.name: vm
-                      for plan in plans for vm in plan.vms}
+        #: schedule name -> the VM currently serving that assignment
+        current_vm = {vm.name: vm for plan in plans for vm in plan.vms}
+        ready_ts = {name: cfg.start_ts for name in current_vm}
+        replace_counts = {name: 0 for name in current_vm}
         clock = SimClock(cfg.start_ts)
         last_storage_charge = cfg.start_ts
 
@@ -191,33 +340,30 @@ class CampaignRunner:
             hour_start = cfg.start_ts + hour_index * HOUR
             clock.advance_to(hour_start)
             for plan, schedule in schedules:
-                vm = vm_by_name[schedule.vm_name]
+                sched_name = schedule.vm_name
+                vm = current_vm[sched_name]
                 region = plan.region
-                artefact_bytes = 0
-                for slot in schedule.hour_slots(hour_start):
-                    try:
-                        artefacts = self.browser.run_test(
-                            vm, self.catalog.get(slot.server_id), slot.ts)
-                    except SpeedTestError:
-                        dataset.failed_tests += 1
+                # The slot draw happens every hour regardless of VM
+                # health so the schedule stream stays aligned between
+                # fault-free and faulty runs of the same seed.
+                slots = schedule.hour_slots(hour_start)
+                if self.injector is not None:
+                    if hour_start < ready_ts[sched_name]:
+                        self._mark_hour_lost(dataset, region, vm.name,
+                                             slots, "slow-start")
                         continue
-                    result = artefacts.result
-                    dataset.record(MeasurementRecord.from_result(
-                        result, region, vm.tier))
-                    artefact_bytes += artefacts.upload_size_bytes
-                    if cfg.charge_billing:
-                        # Only egress (the upload phase) is billed.
-                        self.platform.costs.charge_egress(
-                            result.upload_bytes, vm.tier)
-                # Ship the hour's compressed artefacts to the bucket.
+                    if self.injector.vm_preempted(vm.name, hour_start):
+                        self._handle_preemption(plan, sched_name, vm,
+                                                hour_start, current_vm,
+                                                ready_ts, replace_counts)
+                        self._mark_hour_lost(dataset, region, vm.name,
+                                             slots, "preemption")
+                        continue
+                artefact_bytes = self._run_hour(dataset, region, vm,
+                                                slots, cfg)
                 if artefact_bytes:
-                    plan.bucket.upload(
-                        key=f"{vm.name}/{int(hour_start)}.tar.gz",
-                        size_bytes=artefact_bytes,
-                        ts=schedule.upload_ts(hour_start))
-                    if cfg.charge_billing:
-                        self.platform.costs.charge_intra_region(
-                            artefact_bytes)
+                    self._upload_hour(dataset, plan, vm, schedule,
+                                      hour_start, artefact_bytes, cfg)
             if cfg.charge_billing:
                 self.platform.charge_vm_uptime(1.0)
                 if (hour_start - last_storage_charge

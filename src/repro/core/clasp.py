@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from ..cloud.api import CloudPlatform
 from ..cloud.billing import CostTracker
 from ..cloud.tiers import NetworkTier
+from ..faults import FaultInjector, FaultPlan
 from ..netsim.generator import GeneratedInternet
 from ..rng import SeedTree
 from ..simclock import CAMPAIGN_START
@@ -43,7 +44,8 @@ class Clasp:
     def __init__(self, platform: CloudPlatform, catalog: ServerCatalog,
                  prefix2as: Prefix2AS, scamper: Scamper, bdrmap: Bdrmap,
                  ipinfo: IpInfoDatabase, speedchecker: Speedchecker,
-                 engine: SpeedTestEngine, seeds: SeedTree) -> None:
+                 engine: SpeedTestEngine, seeds: SeedTree,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.platform = platform
         self.catalog = catalog
         self.prefix2as = prefix2as
@@ -54,8 +56,11 @@ class Clasp:
         self.engine = engine
         self.seeds = seeds
         self.orchestrator = Orchestrator(platform)
+        self.fault_plan = fault_plan
         self.runner = CampaignRunner(platform, catalog, engine,
-                                     seeds=seeds.child("campaign"))
+                                     seeds=seeds.child("campaign"),
+                                     fault_plan=fault_plan,
+                                     orchestrator=self.orchestrator)
         self._topology_selections: Dict[str, TopologySelection] = {}
         self._differential_selections: Dict[str, DifferentialSelection] = {}
         self._speedchecker_medians: Optional[List[TupleMedian]] = None
@@ -67,8 +72,15 @@ class Clasp:
     def build(cls, internet: GeneratedInternet, catalog: ServerCatalog,
               seeds: Optional[SeedTree] = None,
               budget_usd: Optional[float] = None,
-              speedtest_config: Optional[SpeedTestConfig] = None) -> "Clasp":
-        """Assemble a full CLASP stack over a generated Internet."""
+              speedtest_config: Optional[SpeedTestConfig] = None,
+              fault_plan: Optional[FaultPlan] = None) -> "Clasp":
+        """Assemble a full CLASP stack over a generated Internet.
+
+        With a *fault_plan*, the campaign runner builds a seed-derived
+        :class:`~repro.faults.FaultInjector` and wires its streams into
+        the speed-test engine, the storage service, and the link-state
+        evaluator; the same seed then reproduces the same faults.
+        """
         seeds = seeds or SeedTree(0)
         costs = CostTracker(budget_usd=budget_usd)
         platform = CloudPlatform(internet, cost_tracker=costs)
@@ -84,7 +96,12 @@ class Clasp:
         engine = SpeedTestEngine(platform, speedtest_config,
                                  seeds=seeds.child("engine"))
         return cls(platform, catalog, p2a, scamper, bdr, ipinfo, checker,
-                   engine, seeds)
+                   engine, seeds, fault_plan=fault_plan)
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The campaign's injector (None when faults are disabled)."""
+        return self.runner.injector
 
     # ------------------------------------------------------------------
     # selection

@@ -187,11 +187,18 @@ def pair_daily_records(dataset: CampaignDataset, pair: PairKey,
 def daily_variability(dataset: CampaignDataset,
                       region: Optional[str] = None,
                       tier: Optional[NetworkTier] = None,
-                      metric: str = "download") -> Dict[PairKey, np.ndarray]:
-    """V(s, d) arrays per pair (one value per full measured day)."""
+                      metric: str = "download",
+                      min_samples: int = MIN_SAMPLES_PER_DAY
+                      ) -> Dict[PairKey, np.ndarray]:
+    """V(s, d) arrays per pair (one value per full measured day).
+
+    Days with fewer than *min_samples* hourly measurements (e.g. hours
+    lost to faults) are excluded rather than producing unstable
+    extremes from a handful of points.
+    """
     out: Dict[PairKey, np.ndarray] = {}
     for pair in dataset.pairs(region=region, tier=tier):
-        records = pair_daily_records(dataset, pair, metric)
+        records = pair_daily_records(dataset, pair, metric, min_samples)
         if records:
             out[pair] = np.array([r.variability for r in records])
     return out
@@ -289,13 +296,20 @@ def choose_threshold_elbow(thresholds: np.ndarray,
 
 def label_events(dataset: CampaignDataset, pair: PairKey,
                  threshold: float = PAPER_THRESHOLD,
-                 metric: str = "download") -> List[CongestionEvent]:
-    """All congested s-hours of one pair."""
+                 metric: str = "download",
+                 min_samples: int = MIN_SAMPLES_PER_DAY
+                 ) -> List[CongestionEvent]:
+    """All congested s-hours of one pair.
+
+    Days with fewer than *min_samples* measurements are skipped, so a
+    fault-riddled day degrades to "no events" instead of flagging
+    spurious congestion off a sparse sample.
+    """
     region, server_id, tier = pair
     offset = dataset.server_meta(server_id).utc_offset_hours
     events: List[CongestionEvent] = []
     for day, ts, values in _pair_day_buckets(dataset, pair, metric):
-        if len(values) < MIN_SAMPLES_PER_DAY:
+        if len(values) < min_samples:
             continue
         peak = float(values.max())
         if peak <= 0:
@@ -314,13 +328,21 @@ def detect(dataset: CampaignDataset,
            threshold: float = PAPER_THRESHOLD,
            region: Optional[str] = None,
            tier: Optional[NetworkTier] = None,
-           metric: str = "download") -> CongestionReport:
-    """Full detection pass over (a slice of) a dataset."""
+           metric: str = "download",
+           min_samples: int = MIN_SAMPLES_PER_DAY) -> CongestionReport:
+    """Full detection pass over (a slice of) a dataset.
+
+    *min_samples* is the per-day floor below which a pair-day is
+    ignored everywhere (records, hours, events); campaigns run with
+    fault injection lower effective coverage, and this guard keeps
+    V(s, d) well-defined on what remains.
+    """
     report = CongestionReport(threshold=threshold, metric=metric)
     for pair in dataset.pairs(region=region, tier=tier):
-        records = pair_daily_records(dataset, pair, metric)
+        records = pair_daily_records(dataset, pair, metric, min_samples)
         report.day_records.extend(records)
-        _ts, vh = hourly_variability(dataset, pair, metric)
+        _ts, vh = hourly_variability(dataset, pair, metric, min_samples)
         report.pair_hours[pair] = int(vh.size)
-        report.events.extend(label_events(dataset, pair, threshold, metric))
+        report.events.extend(label_events(dataset, pair, threshold,
+                                          metric, min_samples))
     return report

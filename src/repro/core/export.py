@@ -9,14 +9,22 @@ Layout of an export directory::
     manifest.json            # schema version, campaign window, counts
     servers.json             # per-server metadata (ServerMeta fields)
     measurements.csv         # one row per test, tagged columns
+    lost.csv                 # one row per lost slot (schema >= 2)
 
 CSV columns: ``ts, region, server_id, tier, download_mbps,
-upload_mbps, latency_ms, download_loss_rate, upload_loss_rate``.
+upload_mbps, latency_ms, download_loss_rate, upload_loss_rate``;
+lost.csv columns: ``ts, region, vm_name, server_id, reason``.
+
+:func:`dataset_digest` hashes the same canonical serializations that
+the exporter writes, so "two runs produced the same dataset" can be
+asserted from a single hex string without touching the filesystem.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
+import io
 import json
 import pathlib
 from typing import Union
@@ -26,21 +34,26 @@ from ..errors import AnalysisError
 from .campaign import CampaignDataset
 from .records import MeasurementRecord, ServerMeta
 
-__all__ = ["export_dataset", "load_dataset", "SCHEMA_VERSION"]
+__all__ = ["dataset_digest", "export_dataset", "load_dataset",
+           "SCHEMA_VERSION"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Schema versions :func:`load_dataset` understands.  Version 1 exports
+#: lack ``lost.csv`` and the retried/lost manifest counters.
+_SUPPORTED_SCHEMAS = (1, 2)
 
 _CSV_COLUMNS = ("ts", "region", "server_id", "tier", "download_mbps",
                 "upload_mbps", "latency_ms", "download_loss_rate",
                 "upload_loss_rate")
 
+_LOST_COLUMNS = ("ts", "region", "vm_name", "server_id", "reason")
 
-def export_dataset(dataset: CampaignDataset,
-                   directory: Union[str, pathlib.Path]) -> pathlib.Path:
-    """Write a dataset to *directory*; returns the manifest path."""
-    path = pathlib.Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
 
+# ----------------------------------------------------------------------
+# canonical serializations (shared by the exporter and the digest)
+
+def _serialize_servers(dataset: CampaignDataset) -> str:
     servers = {
         server_id: {
             "server_id": meta.server_id,
@@ -55,36 +68,87 @@ def export_dataset(dataset: CampaignDataset,
         }
         for server_id, meta in sorted(dataset.servers.items())
     }
-    (path / "servers.json").write_text(
-        json.dumps(servers, indent=1, sort_keys=True), encoding="utf-8")
+    return json.dumps(servers, indent=1, sort_keys=True)
 
-    n_rows = 0
-    with open(path / "measurements.csv", "w", newline="",
-              encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(_CSV_COLUMNS)
-        for tags in dataset.table.tag_combinations():
-            region, server_id, tier = tags
-            series = dataset.table.series(tags)
-            for i in range(series["ts"].size):
-                writer.writerow([
-                    f"{series['ts'][i]:.0f}", region, server_id, tier,
-                    f"{series['download'][i]:.3f}",
-                    f"{series['upload'][i]:.3f}",
-                    f"{series['latency'][i]:.3f}",
-                    f"{series['loss_down'][i]:.6g}",
-                    f"{series['loss_up'][i]:.6g}",
-                ])
-                n_rows += 1
 
+def _serialize_measurements(dataset: CampaignDataset) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_CSV_COLUMNS)
+    for tags in dataset.table.tag_combinations():
+        region, server_id, tier = tags
+        series = dataset.table.series(tags)
+        for i in range(series["ts"].size):
+            writer.writerow([
+                f"{series['ts'][i]:.0f}", region, server_id, tier,
+                f"{series['download'][i]:.3f}",
+                f"{series['upload'][i]:.3f}",
+                f"{series['latency'][i]:.3f}",
+                f"{series['loss_down'][i]:.6g}",
+                f"{series['loss_up'][i]:.6g}",
+            ])
+    return buffer.getvalue()
+
+
+def _serialize_lost(dataset: CampaignDataset) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_LOST_COLUMNS)
+    ordered = sorted(dataset.lost,
+                     key=lambda r: (r.ts, r.vm_name, r.server_id, r.reason))
+    for rec in ordered:
+        writer.writerow([f"{rec.ts:.0f}", rec.region, rec.vm_name,
+                         rec.server_id, rec.reason])
+    return buffer.getvalue()
+
+
+def dataset_digest(dataset: CampaignDataset) -> str:
+    """Canonical sha256 over servers + measurements + lost slots.
+
+    Two campaigns with the same seed and config must produce the same
+    digest; any drift in measured values, server metadata, or fault
+    tagging changes it.  This is the determinism contract tier-1 tests
+    pin with golden values.
+    """
+    hasher = hashlib.sha256()
+    for section in (_serialize_servers(dataset),
+                    _serialize_measurements(dataset),
+                    _serialize_lost(dataset)):
+        hasher.update(section.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+
+def export_dataset(dataset: CampaignDataset,
+                   directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a dataset to *directory*; returns the manifest path."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    servers_text = _serialize_servers(dataset)
+    (path / "servers.json").write_text(servers_text, encoding="utf-8")
+
+    measurements_text = _serialize_measurements(dataset)
+    (path / "measurements.csv").write_text(measurements_text,
+                                           encoding="utf-8")
+
+    lost_text = _serialize_lost(dataset)
+    (path / "lost.csv").write_text(lost_text, encoding="utf-8")
+
+    n_rows = max(0, measurements_text.count("\n") - 1)
     manifest = {
         "schema_version": SCHEMA_VERSION,
         "start_ts": dataset.start_ts,
         "end_ts": dataset.end_ts,
         "n_measurements": n_rows,
-        "n_servers": len(servers),
+        "n_servers": len(dataset.servers),
         "completed_tests": dataset.completed_tests,
         "failed_tests": dataset.failed_tests,
+        "retried_tests": dataset.retried_tests,
+        "lost_tests": dataset.lost_tests,
+        "dataset_digest": dataset_digest(dataset),
     }
     manifest_path = path / "manifest.json"
     manifest_path.write_text(json.dumps(manifest, indent=1,
@@ -100,7 +164,7 @@ def load_dataset(directory: Union[str, pathlib.Path]) -> CampaignDataset:
     if not manifest_path.exists():
         raise AnalysisError(f"no manifest.json under {path}")
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    if manifest.get("schema_version") != SCHEMA_VERSION:
+    if manifest.get("schema_version") not in _SUPPORTED_SCHEMAS:
         raise AnalysisError(
             f"unsupported schema version "
             f"{manifest.get('schema_version')!r}")
@@ -129,5 +193,16 @@ def load_dataset(directory: Union[str, pathlib.Path]) -> CampaignDataset:
                 download_loss_rate=float(row["download_loss_rate"]),
                 upload_loss_rate=float(row["upload_loss_rate"]),
             ))
+    lost_path = path / "lost.csv"
+    if lost_path.exists():
+        with open(lost_path, newline="", encoding="utf-8") as handle:
+            lost_reader = csv.DictReader(handle)
+            if tuple(lost_reader.fieldnames or ()) != _LOST_COLUMNS:
+                raise AnalysisError("lost.csv column mismatch")
+            for row in lost_reader:
+                dataset.mark_lost(float(row["ts"]), row["region"],
+                                  row["vm_name"], row["server_id"],
+                                  row["reason"])
     dataset.failed_tests = int(manifest.get("failed_tests", 0))
+    dataset.retried_tests = int(manifest.get("retried_tests", 0))
     return dataset

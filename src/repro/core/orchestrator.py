@@ -142,6 +142,31 @@ class Orchestrator:
             plan.assignments.append((vm, list(ids)))
         return plan
 
+    def replace_vm(self, plan: DeploymentPlan, old_vm: VirtualMachine,
+                   ts: float, name: Optional[str] = None) -> VirtualMachine:
+        """Re-provision a preempted/terminated VM, preserving its servers.
+
+        The replacement keeps the old VM's region, machine type, tier,
+        and ``tc`` shaping, and inherits the *exact* server list the
+        old VM measured, so longitudinal per-server coverage survives
+        a preemption.  Returns the new VM.
+        """
+        if old_vm.is_running:
+            raise SchedulingError(
+                f"VM {old_vm.name!r} is still running; preempt or "
+                f"terminate it before replacing")
+        vm = self.platform.create_vm(
+            old_vm.region_name, old_vm.machine_type.name, old_vm.tier, ts,
+            name=name or f"{old_vm.name}-r")
+        vm.nic.apply_tc(ingress_mbps=DOWNLINK_CAP_MBPS,
+                        egress_mbps=UPLINK_CAP_MBPS)
+        for index, (candidate, ids) in enumerate(plan.assignments):
+            if candidate.name == old_vm.name:
+                plan.assignments[index] = (vm, ids)
+                return vm
+        raise SchedulingError(
+            f"VM {old_vm.name!r} not in plan for {plan.region}")
+
     def teardown(self, plan: DeploymentPlan, ts: float) -> None:
         """Terminate every VM in a plan (end of campaign)."""
         for vm in plan.vms:

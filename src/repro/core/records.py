@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from ..cloud.tiers import NetworkTier
 from ..speedtest.protocol import SpeedTestResult
 
-__all__ = ["MeasurementRecord", "ServerMeta"]
+__all__ = ["LostRecord", "MeasurementRecord", "ServerMeta"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,23 @@ class ServerMeta:
         """"<City>-<Network>" label used in the paper's Fig. 6."""
         city = self.city_key.rsplit(",", 1)[0]
         return f"{city}-{self.sponsor}"
+
+
+@dataclass(frozen=True)
+class LostRecord:
+    """One scheduled measurement that produced no usable data.
+
+    Campaigns keep running through faults; instead of a record, the
+    hour slot is tagged with *why* it was lost (``preemption``,
+    ``slow-start``, ``speedtest``, ``upload``) so analyses can account
+    for coverage gaps instead of silently shrinking samples.
+    """
+
+    ts: float
+    region: str
+    vm_name: str
+    server_id: str
+    reason: str
 
 
 @dataclass(frozen=True)

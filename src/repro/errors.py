@@ -22,8 +22,11 @@ __all__ = [
     "QuotaExceededError",
     "BudgetExhaustedError",
     "StorageError",
+    "TransientUploadError",
+    "VMPreemptedError",
     "MeasurementError",
     "SpeedTestError",
+    "TruncatedTransferError",
     "SchedulingError",
     "SelectionError",
     "AnalysisError",
@@ -93,12 +96,24 @@ class StorageError(CloudError):
     """Storage-bucket operation failed (missing object, bad key, ...)."""
 
 
+class TransientUploadError(StorageError):
+    """A bucket upload failed transiently; retrying may succeed."""
+
+
+class VMPreemptedError(CloudError):
+    """The VM was preempted by the cloud provider and cannot serve work."""
+
+
 class MeasurementError(ReproError):
     """A measurement tool (traceroute, bdrmap, flow capture) failed."""
 
 
 class SpeedTestError(MeasurementError):
     """A speed test could not be completed against the target server."""
+
+
+class TruncatedTransferError(SpeedTestError):
+    """A bulk-transfer phase ended early; the result is unusable."""
 
 
 class SchedulingError(ReproError):

@@ -37,6 +37,7 @@ from ..cloud.regions import (
 )
 from ..core.clasp import Clasp
 from ..core.selection.differential import DifferentialSelection
+from ..faults import FaultPlan
 from ..netsim.generator import (
     GeneratedInternet,
     GeneratorConfig,
@@ -67,6 +68,8 @@ class ScenarioConfig:
     stories: bool = True
     #: Monetary budget for the cost tracker (None = unlimited).
     budget_usd: Optional[float] = None
+    #: Fault-injection schedule (None = the fault-free world).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not 0.02 <= self.scale <= 4.0:
@@ -196,11 +199,18 @@ def _install_stories(gen: TopologyGenerator,
 def build_scenario(seed: int = 7, scale: float = 1.0,
                    stories: bool = True,
                    budget_usd: Optional[float] = None,
-                   speedtest_config: Optional[SpeedTestConfig] = None
+                   speedtest_config: Optional[SpeedTestConfig] = None,
+                   faults: Optional[FaultPlan] = None
                    ) -> Scenario:
-    """Build the full calibrated scenario."""
+    """Build the full calibrated scenario.
+
+    *faults* enables deterministic fault injection for the campaign:
+    the schedule derives entirely from *seed*, so a scenario built
+    twice with the same arguments reproduces the same faults (and the
+    same dataset digest).
+    """
     config = ScenarioConfig(seed=seed, scale=scale, stories=stories,
-                            budget_usd=budget_usd)
+                            budget_usd=budget_usd, faults=faults)
     seeds = SeedTree(seed)
     gen = TopologyGenerator(_scaled_generator_config(scale),
                             seeds.child("net"))
@@ -216,7 +226,8 @@ def build_scenario(seed: int = 7, scale: float = 1.0,
                             seeds.child("catalog"), ensure_asns=ensure)
     clasp = Clasp.build(net, catalog, seeds.child("clasp"),
                         budget_usd=budget_usd,
-                        speedtest_config=speedtest_config)
+                        speedtest_config=speedtest_config,
+                        fault_plan=faults)
     return Scenario(config=config, seeds=seeds, internet=net,
                     catalog=catalog, clasp=clasp, story_asns=story_asns)
 

@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the cloud/campaign stack.
+
+CLASP ran on real GCP for five months, where VM preemptions, failed
+speed tests, upload hiccups, and link flaps are routine.  This package
+models that operational noise *reproducibly*: a :class:`FaultPlan`
+declares the rates, a :class:`FaultInjector` combines the plan with a
+:class:`~repro.rng.SeedTree`, and every per-event decision is a pure
+function of the root seed - so the same seed always produces the same
+fault schedule and (with the recovery paths in the orchestrator and
+campaign runner) the byte-identical dataset.
+
+Injection sites:
+
+==========================  ======================================
+fault kind                  site
+==========================  ======================================
+VM preemption / slow start  ``cloud.api`` / ``cloud.vm``
+speed-test failure          ``speedtest.protocol``
+truncated transfer          ``speedtest.protocol`` (browser retries)
+upload failure              ``cloud.storage``
+link flap                   ``netsim.linkstate``
+==========================  ======================================
+"""
+
+from .injector import FaultEvent, FaultInjector
+from .plan import FaultKind, FaultPlan
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan"]

@@ -1,0 +1,149 @@
+"""Seed-deterministic fault decisions.
+
+The :class:`FaultInjector` answers one question per injection site:
+*does this fault fire for this entity at this simulated time?*  Every
+decision is a pure function of ``(root seed, fault kind, entity key,
+timestamp)``: the injector derives a dedicated RNG stream per decision
+from its :class:`~repro.rng.SeedTree` label space, so
+
+* the same seed always yields the identical fault schedule (which is
+  what makes golden-dataset tests possible),
+* decisions are independent of *call order* - adding a new consumer or
+  skipping a preempted VM's hour never perturbs other decisions, and
+* no wall-clock or OS entropy is involved anywhere.
+
+Positive decisions are logged as :class:`FaultEvent` records so tests
+and the CLI can report what was injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..rng import SeedTree
+from ..units import HOUR
+from .plan import FaultKind, FaultPlan
+
+__all__ = ["FaultEvent", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: what, where, when."""
+
+    kind: FaultKind
+    key: str
+    ts: float
+
+
+class FaultInjector:
+    """Deterministic per-event fault decisions for one campaign."""
+
+    def __init__(self, plan: FaultPlan, seeds: SeedTree) -> None:
+        self.plan = plan
+        self._seeds = seeds
+        self.events: List[FaultEvent] = []
+        self._cache: Dict[Tuple[FaultKind, str, int], bool] = {}
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _stream(self, kind: FaultKind, key: str, ts: float):
+        """A fresh generator unique to (kind, key, ts) - order-free."""
+        label = f"{kind.value}/{key}/{int(ts)}"
+        return self._seeds.generator(label, allow_reuse=True)
+
+    def _decide(self, kind: FaultKind, key: str, ts: float,
+                rate: float) -> bool:
+        if not self.plan.enabled or rate <= 0.0:
+            return False
+        cache_key = (kind, key, int(ts))
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        hit = bool(self._stream(kind, key, ts).random() < rate)
+        self._cache[cache_key] = hit
+        if hit:
+            self.events.append(FaultEvent(kind, key, float(ts)))
+        return hit
+
+    # ------------------------------------------------------------------
+    # site APIs
+
+    def vm_preempted(self, vm_name: str, hour_ts: float) -> bool:
+        """Is this VM preempted during the hour starting at *hour_ts*?"""
+        return self._decide(FaultKind.VM_PREEMPTION, vm_name, hour_ts,
+                            self.plan.vm_preemption_per_hour)
+
+    def slow_start_hours(self, vm_name: str, ts: float) -> int:
+        """Extra warm-up hours a replacement VM misses (0..max)."""
+        if not self.plan.enabled or self.plan.slow_start_max_hours == 0:
+            return 0
+        draw = self._stream(FaultKind.VM_SLOW_START, vm_name, ts)
+        hours = int(draw.integers(0, self.plan.slow_start_max_hours + 1))
+        if hours:
+            self.events.append(
+                FaultEvent(FaultKind.VM_SLOW_START, vm_name, float(ts)))
+        return hours
+
+    def speedtest_fails(self, vm_name: str, server_id: str,
+                        ts: float) -> bool:
+        """Does the test from *vm_name* to *server_id* fail outright?"""
+        return self._decide(FaultKind.SPEEDTEST_FAILURE,
+                            f"{vm_name}->{server_id}", ts,
+                            self.plan.speedtest_failure_rate)
+
+    def truncation_fraction(self, vm_name: str, server_id: str,
+                            ts: float) -> Optional[float]:
+        """Fraction of the transfer completed before truncation.
+
+        ``None`` when the transfer runs to completion; otherwise a
+        value in ``[0.2, 0.8)``.
+        """
+        key = f"{vm_name}->{server_id}"
+        if not self._decide(FaultKind.TRUNCATED_TRANSFER, key, ts,
+                            self.plan.truncated_transfer_rate):
+            return None
+        draw = self._stream(FaultKind.TRUNCATED_TRANSFER,
+                            f"{key}/fraction", ts)
+        return float(draw.uniform(0.2, 0.8))
+
+    def upload_fails(self, bucket_name: str, key: str,
+                     attempt: int) -> bool:
+        """Does upload attempt *attempt* of *key* fail transiently?
+
+        The attempt number is part of the decision key, so a retried
+        upload re-rolls independently and eventually succeeds (or the
+        caller exhausts its bounded retry budget).
+        """
+        return self._decide(FaultKind.UPLOAD_FAILURE,
+                            f"{bucket_name}/{key}#{attempt}", 0.0,
+                            self.plan.upload_failure_rate)
+
+    def link_flap_utilization(self, link_id: int, direction: int,
+                              ts: float) -> Optional[float]:
+        """Utilization floor for a flapped link-hour, else ``None``.
+
+        Flaps are hour-granular: every evaluation within the same hour
+        sees the same (single) decision.
+        """
+        hour_index = int(ts // HOUR)
+        if not self._decide(FaultKind.LINK_FLAP,
+                            f"{link_id}/{direction}", hour_index * HOUR,
+                            self.plan.link_flap_per_hour):
+            return None
+        return self.plan.link_flap_utilization
+
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic backoff before retry *attempt* (0-based)."""
+        return self.plan.backoff_s(attempt)
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Injected-event counts per fault kind (for reports/CLI)."""
+        counts: Dict[str, int] = {kind.value: 0 for kind in FaultKind}
+        for event in self.events:
+            counts[event.kind.value] += 1
+        return counts

@@ -21,12 +21,13 @@ along a route.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from .topology import Link, LinkKind
 from .traffic import UtilizationModel
 from ..errors import ValidationError
 
-__all__ = ["LinkObservation", "LinkStateEvaluator"]
+__all__ = ["FlapHook", "LinkObservation", "LinkStateEvaluator"]
 
 #: Utilization where queueing loss begins.
 _LOSS_ONSET = 0.92
@@ -83,19 +84,36 @@ class LinkObservation:
         return self.utilization >= 1.0
 
 
+#: Fault hook signature: ``(link_id, direction, ts)`` returning a
+#: utilization floor the link is forced to while flapped, or ``None``.
+FlapHook = Callable[[int, int, float], Optional[float]]
+
+
 class LinkStateEvaluator:
     """Computes :class:`LinkObservation` records from the traffic model."""
 
-    def __init__(self, utilization_model: UtilizationModel) -> None:
+    def __init__(self, utilization_model: UtilizationModel,
+                 flap_hook: Optional[FlapHook] = None) -> None:
         self._util = utilization_model
+        self._flap_hook = flap_hook
 
     @property
     def utilization_model(self) -> UtilizationModel:
         return self._util
 
+    def set_flap_hook(self, hook: Optional[FlapHook]) -> None:
+        """Install (or clear) a deterministic link-flap fault hook."""
+        self._flap_hook = hook
+
     def observe(self, link: Link, direction: int, ts: float) -> LinkObservation:
         """Evaluate one link direction at simulated time *ts*."""
         u = self._util.utilization(link.link_id, direction, ts)
+        if self._flap_hook is not None:
+            floor = self._flap_hook(link.link_id, direction, ts)
+            if floor is not None:
+                # A flapped link direction behaves like a saturated one:
+                # heavy loss, bufferbloat queueing, near-zero residual.
+                u = max(u, floor)
         residual = self.residual_mbps(link.capacity_mbps, u)
         loss = self.loss_rate(u, link.kind)
         queue = self.queue_delay_ms(u, link.kind)

@@ -12,7 +12,7 @@ that get uploaded to the storage bucket.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..cloud.vm import VirtualMachine
 from ..errors import SpeedTestError, ValidationError
@@ -46,22 +46,32 @@ class BrowserArtifacts:
 class HeadlessBrowser:
     """Runs one web speed test end to end inside "Chromium"."""
 
-    def __init__(self, engine: SpeedTestEngine, max_retries: int = 1) -> None:
+    def __init__(self, engine: SpeedTestEngine, max_retries: int = 1,
+                 backoff: Optional[Callable[[int], float]] = None) -> None:
         if max_retries < 0:
             raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
         self.engine = engine
         self.max_retries = max_retries
+        #: Deterministic seconds-before-retry schedule: ``backoff(k)`` is
+        #: the delay before retry ``k`` (0-based).  ``None`` retries
+        #: immediately, like the original cron wrapper.
+        self.backoff = backoff
 
     def run_test(self, vm: VirtualMachine, server: SpeedTestServer,
                  ts: float) -> BrowserArtifacts:
         """Execute the test, retrying transient failures.
 
-        Raises :class:`SpeedTestError` when all attempts fail.
+        Retries are bounded by ``max_retries`` and spaced by the
+        deterministic ``backoff`` schedule (when configured).  Raises
+        :class:`SpeedTestError` when all attempts fail.
         """
         last_error: Optional[SpeedTestError] = None
         for attempt in range(self.max_retries + 1):
+            attempt_ts = ts
+            if attempt and self.backoff is not None:
+                attempt_ts = ts + self.backoff(attempt - 1)
             try:
-                result = self.engine.run(vm, server, ts)
+                result = self.engine.run(vm, server, attempt_ts)
             except SpeedTestError as err:
                 last_error = err
                 continue

@@ -25,7 +25,8 @@ import numpy as np
 
 from ..cloud.api import CloudPlatform, Direction
 from ..cloud.vm import VirtualMachine
-from ..errors import SpeedTestError, ValidationError
+from ..errors import SpeedTestError, TruncatedTransferError, ValidationError
+from ..faults import FaultInjector
 from ..netsim.pathmodel import PathMetrics
 from ..netsim.routing import Route
 from ..netsim.tcp import multiflow_throughput_mbps
@@ -105,10 +106,12 @@ class SpeedTestEngine:
 
     def __init__(self, platform: CloudPlatform,
                  config: Optional[SpeedTestConfig] = None,
-                 seeds: Optional[SeedTree] = None) -> None:
+                 seeds: Optional[SeedTree] = None,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.platform = platform
         self.config = config or SpeedTestConfig()
         self._rng = (seeds or SeedTree(0)).generator("speedtest-engine")
+        self.injector = injector
 
     # ------------------------------------------------------------------
 
@@ -120,6 +123,17 @@ class SpeedTestEngine:
         if self._rng.random() < cfg.failure_rate:
             raise SpeedTestError(
                 f"test from {vm.name} to {server.server_id} failed")
+        if self.injector is not None:
+            if self.injector.speedtest_fails(vm.name, server.server_id, ts):
+                raise SpeedTestError(
+                    f"injected failure: test from {vm.name} to "
+                    f"{server.server_id} at {ts:.0f}")
+            fraction = self.injector.truncation_fraction(
+                vm.name, server.server_id, ts)
+            if fraction is not None:
+                raise TruncatedTransferError(
+                    f"transfer from {vm.name} to {server.server_id} "
+                    f"truncated after {fraction:.0%} of the test")
 
         # Evaluate each direction's path state once; the latency phase
         # rides the egress (probe) direction.

@@ -7,6 +7,11 @@ Two worlds are available:
   tool tests assert against it precisely.
 * ``small_scenario`` - a generated scenario at a small scale (shared
   per session); integration tests exercise the real pipeline on it.
+
+On top of ``small_scenario``, the builder fixtures ``us_server_ids``,
+``deploy_us_plan``, and ``run_us_campaign`` centralise the
+deploy-N-US-servers-and-run-a-campaign boilerplate that several
+integration modules used to copy.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro.netsim.addressing import Prefix, parse_ip
 from repro.netsim.asn import AS, ASRelationship, ASType, RelationshipKind
 from repro.netsim.topology import InterdomainLink, LinkKind, Topology
 from repro.rng import SeedTree
+from repro.simclock import CAMPAIGN_START
 from repro.units import gbps
 
 
@@ -180,3 +186,35 @@ def small_scenario():
 @pytest.fixture(scope="session")
 def seeds() -> SeedTree:
     return SeedTree(1234)
+
+
+# ----------------------------------------------------------------------
+# shared campaign/deployment builders over the session scenario
+
+
+@pytest.fixture(scope="session")
+def us_server_ids(small_scenario):
+    """Builder: the first *n* US server ids of the shared catalog."""
+    def ids(n):
+        return [s.server_id
+                for s in small_scenario.catalog.servers(country="US")[:n]]
+    return ids
+
+
+@pytest.fixture(scope="session")
+def deploy_us_plan(small_scenario, us_server_ids):
+    """Builder: deploy a premium topology plan of *n_servers* US servers."""
+    def deploy(region, n_servers, ts=float(CAMPAIGN_START)):
+        return small_scenario.clasp.orchestrator.deploy_topology(
+            region, us_server_ids(n_servers), ts)
+    return deploy
+
+
+@pytest.fixture(scope="session")
+def run_us_campaign(small_scenario, deploy_us_plan):
+    """Builder: deploy one plan per region and run a short campaign."""
+    def run(regions, n_servers=8, days=2):
+        plans = [deploy_us_plan(region, n_servers) for region in regions]
+        dataset = small_scenario.clasp.run_campaign(plans, days=days)
+        return plans, dataset
+    return run

@@ -11,13 +11,10 @@ from repro.units import DAY, HOUR
 
 
 @pytest.fixture(scope="module")
-def campaign_rig(small_scenario):
+def campaign_rig(small_scenario, deploy_us_plan):
     """One deployed region + a 2-day campaign, shared by the tests."""
     clasp = small_scenario.clasp
-    catalog = small_scenario.catalog
-    server_ids = [s.server_id for s in catalog.servers(country="US")[:12]]
-    plan = clasp.orchestrator.deploy_topology(
-        "us-east4", server_ids, float(CAMPAIGN_START))
+    plan = deploy_us_plan("us-east4", 12)
     cost_before = clasp.platform.costs.total_usd
     dataset = clasp.run_campaign([plan], days=2)
     return small_scenario, plan, dataset, cost_before

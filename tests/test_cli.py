@@ -55,6 +55,37 @@ def test_quickloop_command(capsys):
     assert "congested s-days" in out
 
 
+def test_campaign_command_with_faults(capsys, tmp_path):
+    out_dir = tmp_path / "export"
+    assert main(["campaign", "--scale", "0.05", "--days", "1",
+                 "--seed", "3", "--faults", "heavy", "--servers", "6",
+                 "--export", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "faults=heavy" in out
+    assert "tests completed" in out
+    assert "dataset digest" in out
+    assert "injected" in out
+    assert (out_dir / "manifest.json").exists()
+    assert (out_dir / "lost.csv").exists()
+
+
+def test_campaign_command_faults_off_digest_stable(capsys):
+    args = ["campaign", "--scale", "0.05", "--days", "1",
+            "--seed", "3", "--servers", "6"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    second = capsys.readouterr().out
+
+    def digest(text):
+        line = [l for l in text.splitlines()
+                if l.startswith("dataset digest")][0]
+        return line.split()[-1]
+
+    assert digest(first) == digest(second)
+    assert "injected" not in first  # no injector without --faults
+
+
 def test_lint_command_clean_tree(capsys):
     import pathlib
 

@@ -10,19 +10,13 @@ from repro.core.detectors import (
     agreement_rate,
 )
 from repro.report.dashboard import render_dashboard
-from repro.simclock import CAMPAIGN_START
 
 
 @pytest.fixture(scope="module")
-def two_region_dataset(small_scenario):
-    clasp = small_scenario.clasp
-    plans = []
-    for region in ("us-west2", "europe-west2"):
-        ids = [s.server_id
-               for s in small_scenario.catalog.servers(country="US")[:8]]
-        plans.append(clasp.orchestrator.deploy_topology(
-            region, ids, float(CAMPAIGN_START)))
-    return clasp.run_campaign(plans, days=3)
+def two_region_dataset(run_us_campaign):
+    _plans, dataset = run_us_campaign(("us-west2", "europe-west2"),
+                                      n_servers=8, days=3)
+    return dataset
 
 
 def test_dashboard_over_campaign(two_region_dataset):

@@ -5,7 +5,8 @@ import pytest
 
 from repro.cloud.tiers import NetworkTier
 from repro.core.campaign import CampaignDataset
-from repro.core.export import export_dataset, load_dataset
+from repro.core.export import (SCHEMA_VERSION, dataset_digest,
+                               export_dataset, load_dataset)
 from repro.core.records import MeasurementRecord, ServerMeta
 from repro.errors import AnalysisError, MeasurementError
 from repro.report.dashboard import render_dashboard
@@ -76,9 +77,42 @@ def test_load_rejects_missing_and_bad(tmp_path):
     export_dataset(_dataset(), out)
     manifest = out / "manifest.json"
     manifest.write_text(manifest.read_text().replace(
-        '"schema_version": 1', '"schema_version": 99'))
+        f'"schema_version": {SCHEMA_VERSION}', '"schema_version": 99'))
     with pytest.raises(AnalysisError):
         load_dataset(out)
+
+
+def test_load_accepts_schema_v1(tmp_path):
+    """A v1 export (no lost.csv, no retried counter) still loads."""
+    out = tmp_path / "v1"
+    export_dataset(_dataset(), out)
+    manifest = out / "manifest.json"
+    manifest.write_text(manifest.read_text().replace(
+        f'"schema_version": {SCHEMA_VERSION}', '"schema_version": 1'))
+    (out / "lost.csv").unlink()
+    loaded = load_dataset(out)
+    assert len(loaded) == len(_dataset())
+    assert loaded.lost == []
+    assert loaded.retried_tests == 0
+
+
+def test_export_records_lost_and_digest(tmp_path):
+    dataset = _dataset()
+    dataset.mark_lost(CAMPAIGN_START + 3 * HOUR, "us-east1", "vm",
+                      "s1", "preemption")
+    dataset.retried_tests = 4
+    digest = dataset_digest(dataset)
+    assert digest == dataset_digest(dataset)  # stable
+    export_dataset(dataset, tmp_path / "out")
+    loaded = load_dataset(tmp_path / "out")
+    assert loaded.lost == dataset.lost
+    assert loaded.retried_tests == 4
+    # The digest survives an export/load round trip.
+    assert dataset_digest(loaded) == digest
+    # ... and is sensitive to fault tagging.
+    loaded.mark_lost(CAMPAIGN_START + 5 * HOUR, "us-east1", "vm",
+                     "s2", "upload")
+    assert dataset_digest(loaded) != digest
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,262 @@
+"""The deterministic fault-injection layer (``repro.faults``).
+
+Covers the plan/injector contracts directly, then a full fault matrix:
+every :class:`FaultKind` is driven through its real injection site by
+running a small campaign with only that fault's rate turned up, and the
+campaign must *complete* with tagged-lost records instead of raising.
+"""
+
+import pytest
+
+from repro.cloud.vm import VMStatus
+from repro.core.congestion import detect
+from repro.errors import ValidationError
+from repro.experiments.scenario import build_scenario
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.rng import SeedTree
+from repro.simclock import CAMPAIGN_START
+from repro.units import HOUR
+
+
+# ----------------------------------------------------------------------
+# FaultPlan validation
+
+
+def test_plan_rejects_bad_rates():
+    with pytest.raises(ValidationError):
+        FaultPlan(speedtest_failure_rate=1.0)
+    with pytest.raises(ValidationError):
+        FaultPlan(vm_preemption_per_hour=-0.1)
+    with pytest.raises(ValidationError):
+        FaultPlan(slow_start_max_hours=-1)
+    with pytest.raises(ValidationError):
+        FaultPlan(max_retries=-1)
+    with pytest.raises(ValidationError):
+        FaultPlan(backoff_base_s=0.0)
+    with pytest.raises(ValidationError):
+        FaultPlan(backoff_factor=0.5)
+    with pytest.raises(ValidationError):
+        FaultPlan(link_flap_utilization=0.5)
+
+
+def test_plan_presets():
+    assert not FaultPlan.none().enabled
+    assert FaultPlan.default().enabled
+    heavy = FaultPlan.heavy()
+    for kind in FaultKind:
+        assert heavy.rate_of(kind) >= FaultPlan.default().rate_of(kind)
+
+
+def test_plan_backoff_is_geometric():
+    plan = FaultPlan(backoff_base_s=5.0, backoff_factor=2.0)
+    assert plan.backoff_s(0) == 5.0
+    assert plan.backoff_s(1) == 10.0
+    assert plan.backoff_s(2) == 20.0
+    with pytest.raises(ValidationError):
+        plan.backoff_s(-1)
+
+
+# ----------------------------------------------------------------------
+# injector determinism
+
+
+def _heavy_injector(seed=99):
+    return FaultInjector(FaultPlan.heavy(), SeedTree(seed))
+
+
+def test_injector_same_seed_same_decisions():
+    a, b = _heavy_injector(), _heavy_injector()
+    ts0 = float(CAMPAIGN_START)
+    for hour in range(48):
+        ts = ts0 + hour * HOUR
+        assert a.vm_preempted("vm-1", ts) == b.vm_preempted("vm-1", ts)
+        assert a.speedtest_fails("vm-1", "s1", ts) == \
+            b.speedtest_fails("vm-1", "s1", ts)
+        assert a.truncation_fraction("vm-1", "s2", ts) == \
+            b.truncation_fraction("vm-1", "s2", ts)
+        assert a.link_flap_utilization(7, 0, ts) == \
+            b.link_flap_utilization(7, 0, ts)
+    assert a.upload_fails("b", "k", 0) == b.upload_fails("b", "k", 0)
+    assert a.events == b.events
+
+
+def test_injector_decisions_are_order_independent():
+    """Querying sites in a different order must not change outcomes."""
+    ts0 = float(CAMPAIGN_START)
+    queries = [("vm-a", "s1"), ("vm-a", "s2"), ("vm-b", "s1")]
+    forward = _heavy_injector(5)
+    backward = _heavy_injector(5)
+    got_fwd = {q: forward.speedtest_fails(q[0], q[1], ts0)
+               for q in queries}
+    got_bwd = {q: backward.speedtest_fails(q[0], q[1], ts0)
+               for q in reversed(queries)}
+    assert got_fwd == got_bwd
+
+
+def test_injector_different_seeds_differ():
+    ts0 = float(CAMPAIGN_START)
+    a, b = _heavy_injector(1), _heavy_injector(2)
+    decisions_a = [a.speedtest_fails("vm", f"s{i}", ts0)
+                   for i in range(200)]
+    decisions_b = [b.speedtest_fails("vm", f"s{i}", ts0)
+                   for i in range(200)]
+    assert decisions_a != decisions_b
+
+
+def test_injector_caches_repeated_queries():
+    """Re-asking the same question returns the cached answer and does
+    not duplicate the event log (link flaps are queried per path
+    evaluation, many times per hour)."""
+    injector = FaultInjector(FaultPlan(link_flap_per_hour=0.9),
+                             SeedTree(3))
+    ts = float(CAMPAIGN_START)
+    first = injector.link_flap_utilization(1, 0, ts)
+    n_events = len(injector.events)
+    for _ in range(10):
+        assert injector.link_flap_utilization(1, 0, ts + 120.0) == first
+    assert len(injector.events) == n_events
+
+
+def test_injector_disabled_plan_injects_nothing():
+    injector = FaultInjector(FaultPlan.none(), SeedTree(4))
+    ts = float(CAMPAIGN_START)
+    assert not injector.vm_preempted("vm", ts)
+    assert injector.truncation_fraction("vm", "s", ts) is None
+    assert injector.slow_start_hours("vm", ts) == 0
+    assert injector.link_flap_utilization(1, 1, ts) is None
+    assert injector.events == []
+    assert set(injector.summary().values()) == {0}
+
+
+# ----------------------------------------------------------------------
+# the fault matrix: every kind through its real injection site
+
+
+def _run_faulty_campaign(fault_plan, seed=23, days=1, n_servers=6):
+    scenario = build_scenario(seed=seed, scale=0.05, stories=False,
+                              faults=fault_plan)
+    clasp = scenario.clasp
+    ids = [s.server_id
+           for s in scenario.catalog.servers(country="US")[:n_servers]]
+    plan = clasp.orchestrator.deploy_topology(
+        "us-west1", ids, float(CAMPAIGN_START))
+    dataset = clasp.run_campaign([plan], days=days)
+    return scenario, plan, dataset
+
+
+_MATRIX = {
+    FaultKind.VM_PREEMPTION: FaultPlan(vm_preemption_per_hour=0.2,
+                                       slow_start_max_hours=0),
+    FaultKind.VM_SLOW_START: FaultPlan(vm_preemption_per_hour=0.2,
+                                       slow_start_max_hours=3),
+    FaultKind.SPEEDTEST_FAILURE: FaultPlan(speedtest_failure_rate=0.9,
+                                           max_retries=0),
+    FaultKind.TRUNCATED_TRANSFER: FaultPlan(truncated_transfer_rate=0.9,
+                                            max_retries=0),
+    FaultKind.UPLOAD_FAILURE: FaultPlan(upload_failure_rate=0.9,
+                                        max_retries=0),
+    FaultKind.LINK_FLAP: FaultPlan(link_flap_per_hour=0.5),
+}
+
+
+@pytest.mark.parametrize("kind", list(FaultKind), ids=lambda k: k.value)
+def test_fault_matrix_campaign_survives(kind):
+    """Each fault kind fires at its site; the campaign still completes
+    and losses are tagged rather than raised."""
+    scenario, plan, dataset = _run_faulty_campaign(_MATRIX[kind])
+    injector = scenario.clasp.fault_injector
+    assert injector.summary()[kind.value] > 0, \
+        f"{kind.value} never injected - site not wired?"
+    # The campaign ran to its full length and produced usable data.
+    assert dataset.n_days == 1
+    assert dataset.completed_tests > 0
+    expected_slots = len(plan.server_ids) * 24
+    assert (dataset.completed_tests + dataset.failed_tests
+            + sum(1 for r in dataset.lost
+                  if r.reason in ("preemption", "slow-start"))
+            == expected_slots)
+
+
+def test_matrix_speedtest_failures_tag_lost_slots():
+    _sc, _plan, dataset = _run_faulty_campaign(
+        _MATRIX[FaultKind.SPEEDTEST_FAILURE])
+    reasons = dataset.lost_by_reason()
+    assert reasons.get("speedtest", 0) > 0
+    assert dataset.failed_tests == reasons["speedtest"]
+
+
+def test_matrix_upload_failures_tag_lost_hours():
+    _sc, plan, dataset = _run_faulty_campaign(
+        _MATRIX[FaultKind.UPLOAD_FAILURE])
+    reasons = dataset.lost_by_reason()
+    assert reasons.get("upload", 0) > 0
+    # Lost uploads leave no bucket object for that VM-hour.
+    assert len(plan.bucket) < len(plan.vms) * 24
+
+
+def test_matrix_retries_recover_most_tests():
+    """With the retry budget on, a high transient failure rate still
+    yields near-complete coverage - and the retries are counted."""
+    _sc, plan, dataset = _run_faulty_campaign(
+        FaultPlan(speedtest_failure_rate=0.3, max_retries=3))
+    expected = len(plan.server_ids) * 24
+    assert dataset.retried_tests > 0
+    assert dataset.completed_tests >= 0.95 * expected
+
+
+# ----------------------------------------------------------------------
+# preemption recovery (the acceptance scenario)
+
+
+def test_preemption_recovery_end_to_end():
+    """A mid-campaign preemption yields a completed campaign with the
+    lost hours marked and a replacement VM measuring the same list."""
+    scenario, plan, dataset = _run_faulty_campaign(
+        FaultPlan(vm_preemption_per_hour=0.1, slow_start_max_hours=2),
+        days=2)
+    platform = scenario.clasp.platform
+    preempted = [vm for vm in platform.vms(running_only=False)
+                 if vm.status is VMStatus.PREEMPTED]
+    assert preempted, "no VM was ever preempted at 10%/hour over 2 days"
+
+    reasons = dataset.lost_by_reason()
+    assert reasons.get("preemption", 0) > 0
+    # Replacements carry the -r<n> suffix and took over the plan slot.
+    replacements = [vm for vm in plan.vms if "-r" in vm.name]
+    assert replacements
+    for vm in replacements:
+        assert vm.is_running or vm.status is VMStatus.PREEMPTED
+        # The replacement measures a full assignment from the plan.
+        assert plan.servers_of(vm.name)
+    # No preempted VM still owns an assignment.
+    assert not {vm.name for vm in preempted} & \
+        {vm.name for vm in plan.vms}
+    # The campaign still produced data for every server in the plan.
+    measured = {pair[1] for pair in dataset.pairs()}
+    assert measured == set(plan.server_ids)
+    # Analyses degrade gracefully on the thinned dataset.
+    report = detect(dataset)
+    assert 0.0 <= report.congested_day_fraction <= 1.0
+
+
+def test_slow_start_hours_are_marked():
+    scenario, _plan, dataset = _run_faulty_campaign(
+        _MATRIX[FaultKind.VM_SLOW_START], days=2)
+    summary = scenario.clasp.fault_injector.summary()
+    reasons = dataset.lost_by_reason()
+    if summary["vm-slow-start"]:
+        assert reasons.get("slow-start", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# same-seed reproducibility with faults enabled
+
+
+def test_faulty_campaign_is_reproducible():
+    from repro.core.export import dataset_digest
+    plan = FaultPlan.heavy()
+    _s1, _p1, ds1 = _run_faulty_campaign(plan, seed=31)
+    _s2, _p2, ds2 = _run_faulty_campaign(plan, seed=31)
+    assert dataset_digest(ds1) == dataset_digest(ds2)
+    assert ds1.lost == ds2.lost
+    assert ds1.retried_tests == ds2.retried_tests

@@ -95,11 +95,10 @@ def test_iter_hours():
 # orchestrator (on the small generated scenario)
 
 
-def test_deploy_topology(small_scenario):
+def test_deploy_topology(small_scenario, us_server_ids):
     clasp = small_scenario.clasp
     orch = clasp.orchestrator
-    server_ids = [s.server_id
-                  for s in small_scenario.catalog.servers(country="US")[:40]]
+    server_ids = us_server_ids(40)
     plan = orch.deploy_topology("us-west4", server_ids,
                                 float(CAMPAIGN_START))
     try:
@@ -120,10 +119,9 @@ def test_deploy_topology(small_scenario):
     assert all(not vm.is_running for vm in plan.vms)
 
 
-def test_deploy_topology_budget_cap(small_scenario):
+def test_deploy_topology_budget_cap(small_scenario, us_server_ids):
     clasp = small_scenario.clasp
-    server_ids = [s.server_id
-                  for s in small_scenario.catalog.servers(country="US")[:40]]
+    server_ids = us_server_ids(40)
     plan = clasp.orchestrator.deploy_topology(
         "us-west3", server_ids, float(CAMPAIGN_START), budget_servers=10)
     try:
