@@ -1,0 +1,77 @@
+"""Engine overhead: the hour loop before vs after the event bus.
+
+The PR that introduced :mod:`repro.engine` replaced the campaign
+runner's inline hour loop (direct dataset/billing mutation) with an
+event bus and observers.  This bench times the same one-region
+campaign three ways - bare (dataset + billing observers only), with a
+metrics observer attached, and with metrics + a JSON-lines trace - so
+the per-observer cost of the instrumentation seam stays visible in
+the benchmark log.
+
+Wall-clock timing is inherently nondeterministic; this file lives in
+``benchmarks/`` (not ``src/repro``) exactly so the lint determinism
+rules do not apply to it.
+"""
+
+import io
+import time
+
+from repro.engine import MetricsObserver, TraceObserver
+from repro.experiments.scenario import build_scenario
+from repro.report.tables import TextTable
+from repro.simclock import CAMPAIGN_START
+
+#: Small fixed shape: the bench compares loop variants against each
+#: other, not against the paper, so it only needs to be stable.
+SEED = 11
+SCALE = 0.1
+DAYS = 2
+N_SERVERS = 10
+
+
+def _run_once(observers):
+    scenario = build_scenario(seed=SEED, scale=SCALE, stories=False)
+    clasp = scenario.clasp
+    ids = [s.server_id
+           for s in scenario.catalog.servers(country="US")[:N_SERVERS]]
+    plan = clasp.orchestrator.deploy_topology(
+        "us-west1", ids, float(CAMPAIGN_START))
+    start = time.perf_counter()
+    dataset = clasp.run_campaign([plan], days=DAYS, observers=observers)
+    elapsed = time.perf_counter() - start
+    return dataset, elapsed
+
+
+def test_bench_campaign_engine(emit):
+    variants = [
+        ("bare hour loop", lambda: _run_once([])),
+        ("+ metrics observer", lambda: _run_once([MetricsObserver()])),
+        ("+ metrics + trace",
+         lambda: _run_once([MetricsObserver(),
+                            TraceObserver(io.StringIO())])),
+    ]
+    rows = []
+    baseline = None
+    n_tests = None
+    for label, run in variants:
+        dataset, elapsed = run()
+        if n_tests is None:
+            n_tests = dataset.completed_tests
+        assert dataset.completed_tests == n_tests  # same work every time
+        if baseline is None:
+            baseline = elapsed
+        rows.append((label, elapsed, elapsed / baseline))
+
+    table = TextTable(
+        ["variant", "seconds", "vs bare"],
+        title=f"campaign hour loop: {DAYS} days x {N_SERVERS} servers "
+              f"({n_tests} tests)")
+    for label, elapsed, ratio in rows:
+        table.add_row([label, f"{elapsed:.2f}", f"{ratio:.2f}x"])
+    emit("bench_campaign_engine", table.render())
+
+    # The observer seam must stay cheap relative to the campaign
+    # itself; a generous bound still catches pathological regressions
+    # (e.g. re-sorting a series per event) without flaking on noise.
+    for label, elapsed, ratio in rows[1:]:
+        assert ratio < 3.0, f"{label} slowed the hour loop {ratio:.1f}x"

@@ -2,10 +2,10 @@
 """One-stop verification: ``repro lint`` then the test suite.
 
 This is what ``make check`` runs.  Coverage enforcement for
-``repro.faults`` (configured in pyproject.toml, >=90% lines) activates
-automatically when pytest-cov is installed; without it the suite still
-runs, just without the coverage gate, so the check works in minimal
-environments.
+``repro.faults`` and ``repro.engine`` (configured in pyproject.toml,
+>=90% lines) activates automatically when pytest-cov is installed;
+without it the suite still runs, just without the coverage gate, so
+the check works in minimal environments.
 """
 
 from __future__ import annotations
@@ -39,8 +39,8 @@ def main() -> int:
     if importlib.util.find_spec("pytest_cov") is not None:
         pytest_argv += ["--cov", "--cov-fail-under=90"]
     else:
-        print("== note: pytest-cov not installed; "
-              "skipping the repro.faults coverage gate", flush=True)
+        print("== note: pytest-cov not installed; skipping the "
+              "repro.faults / repro.engine coverage gate", flush=True)
     return _run("tests", pytest_argv)
 
 

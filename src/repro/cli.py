@@ -9,7 +9,9 @@ Subcommands:
 * ``campaign`` - run one regional campaign, optionally under the
   deterministic fault-injection plan (``--faults``), print the
   completed/retried/lost accounting and the dataset digest, and
-  optionally export the dataset (``--export DIR``).
+  optionally export the dataset (``--export DIR``), write the engine
+  event stream as JSON lines (``--trace PATH``), or print event/billing
+  totals (``--metrics``).
 * ``world`` - generate a scenario and print its inventory.
 * ``cost`` - estimate the cloud bill for a campaign shape.
 * ``lint`` - run the :mod:`repro.lint` invariant checker over the
@@ -65,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault-injection plan (seed-deterministic)")
     p_camp.add_argument("--export", metavar="DIR",
                         help="export the dataset to this directory")
+    p_camp.add_argument("--trace", metavar="PATH",
+                        help="write the campaign event stream to PATH "
+                             "as JSON lines")
+    p_camp.add_argument("--metrics", action="store_true",
+                        help="print engine event counts and billing "
+                             "totals after the campaign")
     common(p_camp)
 
     p_world = sub.add_parser("world",
@@ -129,6 +137,7 @@ def _cmd_quickloop(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.core.export import dataset_digest, export_dataset
+    from repro.engine import MetricsObserver, TraceObserver
     from repro.experiments import build_scenario
     from repro.faults import FaultPlan
     from repro.report.tables import TextTable
@@ -142,7 +151,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     selection = clasp.select_topology_servers(args.region)
     plan = clasp.deploy_topology(args.region, selection,
                                  budget_servers=args.servers)
-    dataset = clasp.run_campaign([plan], days=args.days)
+    observers = []
+    metrics = None
+    if args.metrics:
+        metrics = MetricsObserver()
+        observers.append(metrics)
+    trace = None
+    if args.trace:
+        trace = TraceObserver(args.trace)
+        observers.append(trace)
+    try:
+        dataset = clasp.run_campaign([plan], days=args.days,
+                                     observers=observers)
+    finally:
+        if trace is not None:
+            trace.close()
     table = TextTable(["metric", "value"],
                       title=f"{args.region}: {args.days}-day campaign "
                             f"(faults={args.faults})")
@@ -160,6 +183,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     table.add_row(["dataset digest", dataset_digest(dataset)[:16]])
     table.add_row(["cloud bill", f"${clasp.total_cost_usd():,.2f}"])
     print(table.render())
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        events = TextTable(["event", "count"], title="engine events")
+        for kind, count in snapshot["events"].items():
+            events.add_row([kind, count])
+        for category, usd in snapshot["usd_by_category"].items():
+            events.add_row([f"  billed {category}", f"${usd:,.2f}"])
+        print(events.render())
+    if trace is not None:
+        print(f"trace: {trace.n_written} events -> {args.trace}")
     if args.export:
         manifest = export_dataset(dataset, args.export)
         print(f"exported to {manifest.parent}")

@@ -1,13 +1,19 @@
 """Longitudinal measurement campaigns.
 
 :class:`CampaignRunner` drives the hourly cron across all deployed
-measurement VMs over simulated weeks/months: every hour, every VM runs
-its randomized test sequence, artefacts are compressed and shipped to
-the regional bucket, billing accrues (VM hours, standard/premium
-egress, storage), and processed records land in the time-series store.
+measurement VMs over simulated weeks/months.  The hour loop itself
+lives in :class:`repro.engine.lanes.CampaignEngine`: the runner builds
+one execution :class:`~repro.engine.lanes.Lane` per (plan, VM)
+assignment, wires a :class:`~repro.engine.bus.EventBus` with the
+dataset/billing observers (plus any caller-supplied ones), and plugs
+in the :class:`_LaneExecutor` that knows how to run one lane-hour -
+tests, retries, artefact uploads, and preemption recovery all surface
+as typed :mod:`repro.engine.events` rather than inline mutation.
 
 :class:`CampaignDataset` is the analysis-facing product: a tagged
 record table plus per-server metadata (timezone, AS, business type).
+It is rebuilt purely from the event stream by
+:class:`~repro.engine.observers.DatasetObserver`.
 
 With a :class:`~repro.faults.FaultPlan`, the runner also survives
 injected faults: preempted VMs are re-provisioned (inheriting their
@@ -18,19 +24,22 @@ the campaign, and bucket uploads retry with deterministic backoff.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cloud.api import CloudPlatform
 from ..cloud.tiers import NetworkTier
-from ..cloud.vm import VirtualMachine
 from ..errors import (MissingEntryError, SpeedTestError,
                       TransientUploadError, ValidationError)
+from ..engine import (BillingCharged, CampaignEngine, DatasetObserver,
+                      EventBus, Lane, TestCompleted, TestLost, TestRetried,
+                      UploadAttempted, VMPreempted, VMReplaced)
 from ..faults import FaultInjector, FaultPlan
 from ..rng import SeedTree
-from ..simclock import CAMPAIGN_START, SimClock
+from ..simclock import CAMPAIGN_START
 from ..speedtest.browser import HeadlessBrowser
 from ..speedtest.catalog import ServerCatalog
 from ..speedtest.protocol import SpeedTestEngine
@@ -99,12 +108,16 @@ class CampaignDataset:
                 f"no metadata recorded for server {server_id!r}") from None
 
     def record(self, rec: MeasurementRecord) -> None:
-        self.table.append(rec.ts,
-                          (rec.region, rec.server_id, rec.tier.value),
-                          (rec.download_mbps, rec.upload_mbps,
-                           rec.latency_ms, rec.download_loss_rate,
-                           rec.upload_loss_rate))
-        self.completed_tests += 1
+        self.extend([rec])
+
+    def extend(self, records: Sequence[MeasurementRecord]) -> None:
+        """Batch-append processed measurements (the hourly event flush)."""
+        self.table.extend(
+            [(rec.ts, (rec.region, rec.server_id, rec.tier.value),
+              (rec.download_mbps, rec.upload_mbps, rec.latency_ms,
+               rec.download_loss_rate, rec.upload_loss_rate))
+             for rec in records])
+        self.completed_tests += len(records)
 
     def mark_lost(self, ts: float, region: str, vm_name: str,
                   server_id: str, reason: str) -> None:
@@ -118,10 +131,7 @@ class CampaignDataset:
 
     def lost_by_reason(self) -> Dict[str, int]:
         """``reason -> count`` over all lost slots."""
-        out: Dict[str, int] = {}
-        for rec in self.lost:
-            out[rec.reason] = out.get(rec.reason, 0) + 1
-        return out
+        return dict(Counter(rec.reason for rec in self.lost))
 
     # ------------------------------------------------------------------
     # convenience accessors used throughout the analyses
@@ -153,6 +163,209 @@ class CampaignDataset:
 
     def __len__(self) -> int:
         return len(self.table)
+
+
+class _BillingObserver:
+    """Accrues campaign charges from events, publishing what each cost.
+
+    Per-hour charges (VM uptime, the monthly storage sweep) settle at
+    the *end* of each hour - i.e. when the next ``hour-started`` event
+    arrives, or at ``campaign-finished`` for the final hour - because
+    the set of running VMs can change mid-hour (preemption
+    replacements) and historical billing charged after replacements.
+    Per-test egress and per-upload intra-region transfer charge at
+    their events.  Every charge is republished as
+    :class:`~repro.engine.events.BillingCharged`.
+    """
+
+    def __init__(self, platform: CloudPlatform, config: CampaignConfig,
+                 bus: EventBus) -> None:
+        self.platform = platform
+        self.config = config
+        self.bus = bus
+        self._pending_hour_ts: Optional[float] = None
+        self._last_storage_charge = config.start_ts
+
+    def on_event(self, event: Any) -> None:
+        kind = event.kind
+        if kind == "hour-started":
+            self._settle_pending()
+            self._pending_hour_ts = event.ts
+        elif kind == "campaign-finished":
+            self._settle_pending()
+        elif kind == "test-completed":
+            usd = self.platform.costs.charge_egress(
+                event.upload_bytes, NetworkTier(event.tier))
+            self.bus.emit(BillingCharged(ts=event.ts, category="egress",
+                                         amount_usd=usd))
+        elif kind == "upload-attempted" and event.ok:
+            usd = self.platform.costs.charge_intra_region(event.size_bytes)
+            self.bus.emit(BillingCharged(ts=event.ts,
+                                         category="intra_region",
+                                         amount_usd=usd))
+
+    def _settle_pending(self) -> None:
+        hour_start = self._pending_hour_ts
+        if hour_start is None:
+            return
+        self._pending_hour_ts = None
+        usd = self.platform.charge_vm_uptime(1.0)
+        self.bus.emit(BillingCharged(ts=hour_start + HOUR,
+                                     category="vm_hours", amount_usd=usd))
+        every_days = self.config.storage_charge_every_days
+        if hour_start - self._last_storage_charge >= every_days * DAY:
+            usd = self.platform.storage.charge_monthly_storage(
+                months=every_days / 30.0)
+            self.bus.emit(BillingCharged(ts=hour_start + HOUR,
+                                         category="storage",
+                                         amount_usd=usd))
+            self._last_storage_charge = hour_start
+
+
+class _LaneExecutor:
+    """Runs one lane-hour and publishes everything that happened.
+
+    This is the :class:`~repro.engine.lanes.LaneStepper` the runner
+    plugs into the engine.  It owns no state of its own - lane state
+    lives on the :class:`~repro.engine.lanes.Lane`, campaign plumbing
+    on the runner - which is what keeps lanes independently steppable.
+    """
+
+    def __init__(self, runner: "CampaignRunner", bus: EventBus) -> None:
+        self.runner = runner
+        self.bus = bus
+
+    # ------------------------------------------------------------------
+
+    def step(self, lane: Lane, hour_start: float) -> None:
+        # The slot draw happens every hour regardless of VM health so
+        # the schedule stream stays aligned between fault-free and
+        # faulty runs of the same seed.
+        slots = lane.schedule.hour_slots(hour_start)
+        injector = self.runner.injector
+        if injector is not None:
+            if hour_start < lane.ready_ts:
+                self._lose_slots(lane.region, lane.vm.name, slots,
+                                 "slow-start")
+                return
+            if injector.vm_preempted(lane.vm.name, hour_start):
+                preempted_name = lane.vm.name
+                self._replace_vm(lane, hour_start)
+                self._lose_slots(lane.region, preempted_name, slots,
+                                 "preemption")
+                return
+        artefact_bytes = self._run_hour(lane, slots)
+        if artefact_bytes:
+            self._upload_hour(lane, hour_start, artefact_bytes)
+
+    # ------------------------------------------------------------------
+
+    def _lose_slots(self, region: str, vm_name: str,
+                    slots: Sequence[TestSlot], reason: str) -> None:
+        for slot in slots:
+            self.bus.emit(TestLost(ts=slot.ts, region=region,
+                                   vm_name=vm_name,
+                                   server_id=slot.server_id,
+                                   reason=reason))
+
+    def _replace_vm(self, lane: Lane, hour_start: float) -> None:
+        """Re-provision a preempted lane VM and record its ready time.
+
+        The replacement inherits the old VM's server assignment via
+        :meth:`Orchestrator.replace_vm`.  It becomes usable only after
+        a deterministic slow-start delay; hours before that are tagged
+        ``slow-start`` by :meth:`step`.
+        """
+        runner = self.runner
+        assert runner.injector is not None
+        assert runner.orchestrator is not None
+        old_vm = lane.vm
+        runner.platform.preempt_vm(old_vm.name, hour_start)
+        self.bus.emit(VMPreempted(ts=hour_start, region=lane.region,
+                                  vm_name=old_vm.name))
+        replacement = runner.orchestrator.replace_vm(
+            lane.plan, old_vm, hour_start,
+            name=lane.next_replacement_name())
+        lane.vm = replacement
+        extra_hours = runner.injector.slow_start_hours(replacement.name,
+                                                       hour_start)
+        lane.ready_ts = hour_start + (1 + extra_hours) * HOUR
+        self.bus.emit(VMReplaced(ts=hour_start, region=lane.region,
+                                 old_name=old_vm.name,
+                                 new_name=replacement.name,
+                                 ready_ts=lane.ready_ts))
+
+    def _run_hour(self, lane: Lane,
+                  slots: Sequence[TestSlot]) -> int:
+        """Run one VM-hour of tests; returns artefact bytes produced."""
+        runner = self.runner
+        artefact_bytes = 0
+        for slot in slots:
+            try:
+                artefacts = runner.browser.run_test(
+                    lane.vm, runner.catalog.get(slot.server_id), slot.ts)
+            except SpeedTestError:
+                self.bus.emit(TestLost(ts=slot.ts, region=lane.region,
+                                       vm_name=lane.vm.name,
+                                       server_id=slot.server_id,
+                                       reason="speedtest"))
+                continue
+            result = artefacts.result
+            if artefacts.attempts > 1:
+                self.bus.emit(TestRetried(ts=slot.ts, region=lane.region,
+                                          vm_name=lane.vm.name,
+                                          server_id=slot.server_id,
+                                          attempts=artefacts.attempts))
+            record = MeasurementRecord.from_result(result, lane.region,
+                                                   lane.vm.tier)
+            self.bus.emit(TestCompleted(
+                ts=result.ts, region=lane.region, vm_name=lane.vm.name,
+                server_id=slot.server_id, tier=lane.vm.tier.value,
+                latency_ms=result.latency_ms,
+                download_mbps=result.download_mbps,
+                upload_mbps=result.upload_mbps,
+                upload_bytes=result.upload_bytes,
+                artefact_bytes=artefacts.upload_size_bytes,
+                record=record))
+            artefact_bytes += artefacts.upload_size_bytes
+        return artefact_bytes
+
+    def _upload_hour(self, lane: Lane, hour_start: float,
+                     artefact_bytes: int) -> None:
+        """Ship the hour's compressed artefacts, retrying with backoff.
+
+        Every try - success or transient failure - is published as an
+        :class:`~repro.engine.events.UploadAttempted` event, so billing
+        and tests can account for exhausted-retry hours (which produce
+        exactly one ``upload`` loss and no intra-region charge).
+        """
+        runner = self.runner
+        upload_ts = lane.schedule.upload_ts(hour_start)
+        attempts = 1
+        if runner.injector is not None:
+            attempts = runner.injector.plan.max_retries + 1
+        key = f"{lane.vm.name}/{int(hour_start)}.tar.gz"
+        ts = upload_ts
+        for attempt in range(attempts):
+            try:
+                lane.plan.bucket.upload(key=key, size_bytes=artefact_bytes,
+                                        ts=ts)
+            except TransientUploadError:
+                self.bus.emit(UploadAttempted(
+                    ts=ts, region=lane.region, vm_name=lane.vm.name,
+                    key=key, attempt=attempt, ok=False,
+                    size_bytes=artefact_bytes))
+                if runner.injector is not None:
+                    ts = ts + runner.injector.backoff_s(attempt)
+                continue
+            self.bus.emit(UploadAttempted(
+                ts=ts, region=lane.region, vm_name=lane.vm.name,
+                key=key, attempt=attempt, ok=True,
+                size_bytes=artefact_bytes))
+            return
+        self.bus.emit(TestLost(ts=upload_ts, region=lane.region,
+                               vm_name=lane.vm.name, server_id="*",
+                               reason="upload"))
 
 
 class CampaignRunner:
@@ -203,15 +416,22 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
 
-    def _build_schedules(self, plans: Sequence[DeploymentPlan]
-                         ) -> List[Tuple[DeploymentPlan, HourlySchedule]]:
-        schedules = []
+    def _build_lanes(self, plans: Sequence[DeploymentPlan],
+                     start_ts: float) -> List[Lane]:
+        """One independent execution lane per (plan, VM) assignment."""
+        lanes = []
         for plan in plans:
             for vm, server_ids in plan.assignments:
-                schedules.append((plan, HourlySchedule(
-                    vm.name, server_ids,
-                    seeds=self._seeds.child(f"sched-{vm.name}"))))
-        return schedules
+                lanes.append(Lane(
+                    name=vm.name,
+                    region=plan.region,
+                    schedule=HourlySchedule(
+                        vm.name, server_ids,
+                        seeds=self._seeds.child(f"sched-{vm.name}")),
+                    vm=vm,
+                    ready_ts=start_ts,
+                    plan=plan))
+        return lanes
 
     def _register_metadata(self, dataset: CampaignDataset,
                            plans: Sequence[DeploymentPlan]) -> None:
@@ -237,138 +457,35 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
 
-    def _mark_hour_lost(self, dataset: CampaignDataset, region: str,
-                        vm_name: str, slots: Sequence[TestSlot],
-                        reason: str) -> None:
-        for slot in slots:
-            dataset.mark_lost(slot.ts, region, vm_name,
-                              slot.server_id, reason)
-
-    def _handle_preemption(self, plan: DeploymentPlan, sched_name: str,
-                           vm: VirtualMachine, hour_start: float,
-                           current_vm: Dict[str, VirtualMachine],
-                           ready_ts: Dict[str, float],
-                           replace_counts: Dict[str, int]) -> None:
-        """Re-provision a preempted VM and record when it can serve.
-
-        The replacement inherits the old VM's server assignment via
-        :meth:`Orchestrator.replace_vm`.  It becomes usable only after
-        a deterministic slow-start delay; hours before that are tagged
-        ``slow-start`` by the caller.
-        """
-        assert self.injector is not None and self.orchestrator is not None
-        self.platform.preempt_vm(vm.name, hour_start)
-        replace_counts[sched_name] += 1
-        replacement = self.orchestrator.replace_vm(
-            plan, vm, hour_start,
-            name=f"{sched_name}-r{replace_counts[sched_name]}")
-        current_vm[sched_name] = replacement
-        extra_hours = self.injector.slow_start_hours(replacement.name,
-                                                     hour_start)
-        ready_ts[sched_name] = hour_start + (1 + extra_hours) * HOUR
-
-    def _run_hour(self, dataset: CampaignDataset, region: str,
-                  vm: VirtualMachine, slots: Sequence[TestSlot],
-                  cfg: CampaignConfig) -> int:
-        """Run one VM-hour of tests; returns artefact bytes produced."""
-        artefact_bytes = 0
-        for slot in slots:
-            try:
-                artefacts = self.browser.run_test(
-                    vm, self.catalog.get(slot.server_id), slot.ts)
-            except SpeedTestError:
-                dataset.failed_tests += 1
-                dataset.mark_lost(slot.ts, region, vm.name,
-                                  slot.server_id, "speedtest")
-                continue
-            if artefacts.retried:
-                dataset.retried_tests += 1
-            result = artefacts.result
-            dataset.record(MeasurementRecord.from_result(
-                result, region, vm.tier))
-            artefact_bytes += artefacts.upload_size_bytes
-            if cfg.charge_billing:
-                # Only egress (the upload phase) is billed.
-                self.platform.costs.charge_egress(
-                    result.upload_bytes, vm.tier)
-        return artefact_bytes
-
-    def _upload_hour(self, dataset: CampaignDataset, plan: DeploymentPlan,
-                     vm: VirtualMachine, schedule: HourlySchedule,
-                     hour_start: float, artefact_bytes: int,
-                     cfg: CampaignConfig) -> None:
-        """Ship the hour's compressed artefacts, retrying with backoff."""
-        upload_ts = schedule.upload_ts(hour_start)
-        attempts = 1
-        if self.injector is not None:
-            attempts = self.injector.plan.max_retries + 1
-        ts = upload_ts
-        for attempt in range(attempts):
-            try:
-                plan.bucket.upload(
-                    key=f"{vm.name}/{int(hour_start)}.tar.gz",
-                    size_bytes=artefact_bytes, ts=ts)
-            except TransientUploadError:
-                if self.injector is not None:
-                    ts = ts + self.injector.backoff_s(attempt)
-                continue
-            if cfg.charge_billing:
-                self.platform.costs.charge_intra_region(artefact_bytes)
-            return
-        dataset.mark_lost(upload_ts, plan.region, vm.name, "*", "upload")
-
     def run(self, plans: Sequence[DeploymentPlan],
-            config: Optional[CampaignConfig] = None) -> CampaignDataset:
+            config: Optional[CampaignConfig] = None,
+            observers: Sequence[Any] = ()) -> CampaignDataset:
         """Run the whole campaign and return the dataset.
 
-        With an injector attached, faults never abort the run: lost
-        hour slots are tagged in ``dataset.lost`` and preempted VMs
-        are replaced in place (same server list, fresh name).
+        The body is pure composition: build the lanes, wire the bus
+        (dataset observer, billing observer, then any caller-supplied
+        *observers*, in that order), and hand the hour loop to the
+        engine.  With an injector attached, faults never abort the
+        run: lost hour slots are tagged in ``dataset.lost`` and
+        preempted VMs are replaced in place (same server list, fresh
+        name).
         """
         cfg = config or CampaignConfig()
         dataset = CampaignDataset(cfg.start_ts, cfg.end_ts)
         self._register_metadata(dataset, plans)
-        schedules = self._build_schedules(plans)
-        #: schedule name -> the VM currently serving that assignment
-        current_vm = {vm.name: vm for plan in plans for vm in plan.vms}
-        ready_ts = {name: cfg.start_ts for name in current_vm}
-        replace_counts = {name: 0 for name in current_vm}
-        clock = SimClock(cfg.start_ts)
-        last_storage_charge = cfg.start_ts
 
-        for hour_index in range(cfg.n_hours):
-            hour_start = cfg.start_ts + hour_index * HOUR
-            clock.advance_to(hour_start)
-            for plan, schedule in schedules:
-                sched_name = schedule.vm_name
-                vm = current_vm[sched_name]
-                region = plan.region
-                # The slot draw happens every hour regardless of VM
-                # health so the schedule stream stays aligned between
-                # fault-free and faulty runs of the same seed.
-                slots = schedule.hour_slots(hour_start)
-                if self.injector is not None:
-                    if hour_start < ready_ts[sched_name]:
-                        self._mark_hour_lost(dataset, region, vm.name,
-                                             slots, "slow-start")
-                        continue
-                    if self.injector.vm_preempted(vm.name, hour_start):
-                        self._handle_preemption(plan, sched_name, vm,
-                                                hour_start, current_vm,
-                                                ready_ts, replace_counts)
-                        self._mark_hour_lost(dataset, region, vm.name,
-                                             slots, "preemption")
-                        continue
-                artefact_bytes = self._run_hour(dataset, region, vm,
-                                                slots, cfg)
-                if artefact_bytes:
-                    self._upload_hour(dataset, plan, vm, schedule,
-                                      hour_start, artefact_bytes, cfg)
-            if cfg.charge_billing:
-                self.platform.charge_vm_uptime(1.0)
-                if (hour_start - last_storage_charge
-                        >= cfg.storage_charge_every_days * DAY):
-                    self.platform.storage.charge_monthly_storage(
-                        months=cfg.storage_charge_every_days / 30.0)
-                    last_storage_charge = hour_start
+        bus = EventBus()
+        bus.subscribe(DatasetObserver(dataset))
+        if cfg.charge_billing:
+            bus.subscribe(_BillingObserver(self.platform, cfg, bus))
+        for observer in observers:
+            bus.subscribe(observer)
+
+        engine = CampaignEngine(
+            lanes=self._build_lanes(plans, cfg.start_ts),
+            stepper=_LaneExecutor(self, bus),
+            bus=bus,
+            start_ts=cfg.start_ts,
+            n_hours=cfg.n_hours)
+        engine.run()
         return dataset

@@ -168,10 +168,18 @@ class Clasp:
     def run_campaign(self, plans: Sequence[DeploymentPlan],
                      days: int = 14,
                      start_ts: float = float(CAMPAIGN_START),
-                     charge_billing: bool = True) -> CampaignDataset:
+                     charge_billing: bool = True,
+                     observers: Sequence[object] = ()) -> CampaignDataset:
+        """Run the measurement campaign over the deployed plans.
+
+        *observers* are subscribed to the campaign's event bus (after
+        the built-in dataset/billing observers) - e.g. a
+        :class:`~repro.engine.observers.MetricsObserver` or
+        :class:`~repro.engine.observers.TraceObserver`.
+        """
         config = CampaignConfig(days=days, start_ts=start_ts,
                                 charge_billing=charge_billing)
-        return self.runner.run(plans, config)
+        return self.runner.run(plans, config, observers=observers)
 
     # ------------------------------------------------------------------
     # analysis

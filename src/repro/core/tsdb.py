@@ -9,7 +9,7 @@ strings, field values floats, timestamps simulated epoch seconds.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,20 +17,52 @@ from ..errors import TSDBError
 
 __all__ = ["Table", "TimeSeriesDB"]
 
+#: One row for :meth:`Table.extend`: ``(ts, tags, fields)``.
+Row = Tuple[float, Sequence[str], Sequence[float]]
+
 
 class _SeriesBuffer:
-    """Append-only columnar buffer for one tag combination."""
+    """Append-only columnar buffer for one tag combination.
 
-    __slots__ = ("ts", "fields")
+    The timestamp-sorted view :meth:`sorted_view` is computed once and
+    cached; any append invalidates it.  Cached arrays are marked
+    read-only so an accidental in-place mutation fails loudly instead
+    of corrupting every later read.
+    """
+
+    __slots__ = ("ts", "fields", "_sorted")
 
     def __init__(self, n_fields: int) -> None:
         self.ts = array("d")
         self.fields = [array("d") for _ in range(n_fields)]
+        self._sorted: Optional[List[np.ndarray]] = None
 
     def append(self, ts: float, values: Sequence[float]) -> None:
+        self._sorted = None
         self.ts.append(ts)
         for column, value in zip(self.fields, values):
             column.append(value)
+
+    def extend(self, ts_values: Sequence[float],
+               field_columns: Sequence[Sequence[float]]) -> None:
+        """Append many rows at once (columnar input)."""
+        self._sorted = None
+        self.ts.extend(ts_values)
+        for column, values in zip(self.fields, field_columns):
+            column.extend(values)
+
+    def sorted_view(self) -> List[np.ndarray]:
+        """``[ts, field0, field1, ...]`` sorted by timestamp (cached)."""
+        if self._sorted is None:
+            ts = np.asarray(self.ts, dtype=float)
+            order = np.argsort(ts, kind="stable")
+            arrays = [ts[order]]
+            arrays.extend(np.asarray(column, dtype=float)[order]
+                          for column in self.fields)
+            for arr in arrays:
+                arr.setflags(write=False)
+            self._sorted = arrays
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self.ts)
@@ -72,6 +104,38 @@ class Table:
             self._series[key] = buf
         buf.append(ts, fields)
 
+    def extend(self, rows: Iterable[Row]) -> None:
+        """Append many ``(ts, tags, fields)`` rows in one batch.
+
+        Rows are grouped per tag tuple and written columnarly, so a
+        per-hour flush touches each series buffer once instead of once
+        per row.  Validation matches :meth:`append`.
+        """
+        grouped: Dict[Tuple[str, ...],
+                      Tuple[List[float], List[List[float]]]] = {}
+        for ts, tags, fields in rows:
+            if len(tags) != len(self.tag_names):
+                raise TSDBError(
+                    f"expected {len(self.tag_names)} tags, got {len(tags)}")
+            if len(fields) != len(self.field_names):
+                raise TSDBError(
+                    f"expected {len(self.field_names)} fields, "
+                    f"got {len(fields)}")
+            key = tuple(tags)
+            group = grouped.get(key)
+            if group is None:
+                group = grouped[key] = (
+                    [], [[] for _ in self.field_names])
+            group[0].append(ts)
+            for column, value in zip(group[1], fields):
+                column.append(value)
+        for key, (ts_values, field_columns) in grouped.items():
+            buf = self._series.get(key)
+            if buf is None:
+                buf = _SeriesBuffer(len(self.field_names))
+                self._series[key] = buf
+            buf.extend(ts_values, field_columns)
+
     # ------------------------------------------------------------------
     # reads
 
@@ -94,19 +158,19 @@ class Table:
     def series(self, tags: Sequence[str]) -> Dict[str, np.ndarray]:
         """The full series for one exact tag tuple.
 
-        Returns a dict with key ``"ts"`` plus one key per field; arrays
-        are copies, sorted by timestamp.
+        Returns a dict with key ``"ts"`` plus one key per field, sorted
+        by timestamp.  The arrays come from a per-series cache that is
+        invalidated on append, and are read-only; copy before mutating.
         """
         key = tuple(tags)
         buf = self._series.get(key)
         if buf is None:
             raise TSDBError(
                 f"no series for tags {key!r} in table {self.name!r}")
-        ts = np.asarray(buf.ts, dtype=float)
-        order = np.argsort(ts, kind="stable")
-        out: Dict[str, np.ndarray] = {"ts": ts[order]}
-        for name, column in zip(self.field_names, buf.fields):
-            out[name] = np.asarray(column, dtype=float)[order]
+        arrays = buf.sorted_view()
+        out: Dict[str, np.ndarray] = {"ts": arrays[0]}
+        for name, column in zip(self.field_names, arrays[1:]):
+            out[name] = column
         return out
 
     def select(self, **tag_filters: str
@@ -116,13 +180,10 @@ class Table:
         Filters are exact tag-value matches, e.g.
         ``table.select(region="us-west1", tier="premium")``.
         """
-        for name in tag_filters:
-            self._tag_index(name)  # validate names eagerly
         indices = {name: self._tag_index(name) for name in tag_filters}
         for key in self.tag_combinations():
-            if all(key[idx] == value
-                   for name, value in tag_filters.items()
-                   for idx in [indices[name]]):
+            if all(key[indices[name]] == value
+                   for name, value in tag_filters.items()):
                 yield key, self.series(key)
 
     def count(self, **tag_filters: str) -> int:

@@ -1,0 +1,79 @@
+"""A synchronous, deterministic-order event bus.
+
+Dispatch rules (these are contracts, pinned by tests):
+
+* Subscribers are invoked in **registration order** for every event.
+* :meth:`EventBus.emit` is synchronous: when it returns, every
+  subscriber has seen the event.
+* Events emitted *from inside a handler* (e.g. a billing observer
+  publishing ``BillingCharged`` while handling ``TestCompleted``) are
+  queued FIFO and dispatched after the current event finishes its full
+  subscriber pass - emission order is never reordered, and no handler
+  ever sees event B before event A when A was emitted first.
+
+There are no threads, no async, no wall clocks: the bus adds zero
+nondeterminism to a campaign run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List
+
+from ..errors import ValidationError
+from .events import CampaignEvent
+
+__all__ = ["EventBus", "Handler"]
+
+Handler = Callable[[CampaignEvent], None]
+
+
+class EventBus:
+    """Deterministic synchronous pub/sub for campaign events."""
+
+    def __init__(self) -> None:
+        self._handlers: List[Handler] = []
+        self._queue: Deque[CampaignEvent] = deque()
+        self._dispatching = False
+        #: Total events dispatched (handy for progress and assertions).
+        self.n_emitted = 0
+
+    def subscribe(self, observer: Any) -> Any:
+        """Register an observer; returns it (decorator-friendly).
+
+        *observer* is either a callable taking one event, or an object
+        with an ``on_event(event)`` method (the
+        :class:`~repro.engine.observers.Observer` contract).
+        """
+        handler = getattr(observer, "on_event", observer)
+        if not callable(handler):
+            raise ValidationError(
+                f"subscriber {observer!r} is neither callable nor has "
+                f"an on_event method")
+        self._handlers.append(handler)
+        return observer
+
+    @property
+    def n_subscribers(self) -> int:
+        return len(self._handlers)
+
+    def emit(self, event: CampaignEvent) -> None:
+        """Publish *event* to every subscriber, in registration order.
+
+        Re-entrant calls (a handler emitting while a dispatch is in
+        progress) enqueue behind the in-flight event instead of
+        preempting it, so observers always see a linear, identical
+        event sequence regardless of which of them emit.
+        """
+        self._queue.append(event)
+        if self._dispatching:
+            return
+        self._dispatching = True
+        try:
+            while self._queue:
+                current = self._queue.popleft()
+                self.n_emitted += 1
+                for handler in tuple(self._handlers):
+                    handler(current)
+        finally:
+            self._dispatching = False

@@ -1,0 +1,97 @@
+"""Execution lanes and the staged hour loop.
+
+A :class:`Lane` is one independent unit of campaign work: the pairing
+of a deployment plan with one measurement VM assignment.  The lane
+owns everything that is per-assignment state - the hourly schedule,
+the earliest timestamp the current VM can serve (``ready_ts``), and
+the replacement counter that names re-provisioned VMs - so no shared
+dictionaries are threaded through the hour loop.
+
+:class:`CampaignEngine` is the loop itself: advance the simulated
+clock one hour, publish :class:`~repro.engine.events.HourStarted`,
+step every lane, repeat; then publish
+:class:`~repro.engine.events.CampaignFinished`.  *How* a lane-hour
+runs (tests, retries, uploads, preemption recovery) is the
+:class:`LaneStepper`'s business - the campaign layer implements it and
+emits the remaining event taxonomy.  Because lanes are independent,
+"step every lane" is the seam where later work can fan the lanes out
+across workers without touching scheduling or analysis code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Protocol, Sequence
+
+from ..errors import ValidationError
+from ..simclock import SimClock
+from ..units import HOUR
+from .bus import EventBus
+from .events import CampaignFinished, HourStarted
+
+__all__ = ["CampaignEngine", "Lane", "LaneStepper"]
+
+
+@dataclass
+class Lane:
+    """One (plan, VM) assignment and every bit of its per-lane state.
+
+    ``schedule``, ``vm``, and ``plan`` are opaque to the engine (they
+    are core/cloud objects); the engine only guarantees their identity
+    and ownership.  ``name`` is the *original* VM name and stays
+    stable across replacements - it keys the lane's seed stream and
+    prefixes replacement VM names.
+    """
+
+    name: str
+    region: str
+    schedule: Any
+    vm: Any
+    ready_ts: float
+    plan: Any = None
+    replacements: int = 0
+
+    def next_replacement_name(self) -> str:
+        """Reserve the next ``<lane>-r<n>`` replacement VM name."""
+        self.replacements += 1
+        return f"{self.name}-r{self.replacements}"
+
+
+class LaneStepper(Protocol):
+    """What the campaign layer plugs into the engine."""
+
+    def step(self, lane: Lane, hour_start: float) -> None:
+        """Run one lane for the hour starting at *hour_start*."""
+
+
+class CampaignEngine:
+    """Steps every lane through every hour, publishing events."""
+
+    def __init__(self, lanes: Sequence[Lane], stepper: LaneStepper,
+                 bus: EventBus, start_ts: float, n_hours: int) -> None:
+        if n_hours < 1:
+            raise ValidationError(f"n_hours must be >= 1, got {n_hours}")
+        if start_ts % HOUR != 0:
+            raise ValidationError(
+                f"start_ts {start_ts} is not hour-aligned")
+        self.lanes: List[Lane] = list(lanes)
+        self.stepper = stepper
+        self.bus = bus
+        self.start_ts = float(start_ts)
+        self.n_hours = int(n_hours)
+        self.clock = SimClock(self.start_ts)
+
+    @property
+    def end_ts(self) -> float:
+        return self.start_ts + self.n_hours * HOUR
+
+    def run(self) -> None:
+        """The whole campaign: ``for hour: step every lane``."""
+        for hour_index in range(self.n_hours):
+            hour_start = self.start_ts + hour_index * HOUR
+            self.clock.advance_to(hour_start)
+            self.bus.emit(HourStarted(ts=hour_start, hour_index=hour_index))
+            for lane in self.lanes:
+                self.stepper.step(lane, hour_start)
+        self.bus.emit(CampaignFinished(ts=self.end_ts,
+                                       n_hours=self.n_hours))

@@ -1,0 +1,271 @@
+"""Pluggable observers: everything downstream of the event bus.
+
+Observers are the only consumers of campaign telemetry; none of them
+is load-bearing for the measurement itself, and all of them rebuild
+their state purely from the event stream:
+
+* :class:`DatasetObserver` - reconstructs the campaign dataset
+  (measurement rows, completed/failed/retried/lost accounting) from
+  events, batching each hour's rows into one ``extend`` flush.
+* :class:`MetricsObserver` - per-kind event counters, latency/byte
+  histograms, and billing totals, snapshotted as one plain dict.
+* :class:`TraceObserver` - a JSON-lines event trace for offline
+  inspection (the ``--trace`` CLI flag).
+* :class:`ProgressObserver` - periodic one-line progress ticks for
+  interactive runs.
+
+The dataset the :class:`DatasetObserver` mutates is passed in as an
+opaque object exposing ``extend(records)`` / ``mark_lost(...)`` plus
+the four counters - the engine never imports the core layer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import Counter
+from typing import (Any, Callable, Dict, IO, List, Optional, TextIO,
+                    Union)
+
+from ..errors import ValidationError
+from .events import CampaignEvent, event_payload
+
+__all__ = ["DatasetObserver", "Histogram", "MetricsObserver",
+           "Observer", "ProgressObserver", "TraceObserver"]
+
+
+class Observer:
+    """Base observer: dispatches each event to an ``on_<kind>`` method.
+
+    Subclasses implement only the hooks they care about; kind names
+    map dash-to-underscore (``test-completed`` -> ``on_test_completed``).
+    Unknown kinds are ignored, so observers survive taxonomy growth.
+    """
+
+    def on_event(self, event: CampaignEvent) -> None:
+        handler = getattr(self, "on_" + event.kind.replace("-", "_"),
+                          None)
+        if handler is not None:
+            handler(event)
+
+
+# ----------------------------------------------------------------------
+
+
+class DatasetObserver(Observer):
+    """Rebuilds a campaign dataset from the event stream.
+
+    Completed measurements are buffered per hour and flushed in one
+    batched ``dataset.extend(records)`` call on the next hour boundary
+    (and once more at campaign end), which keeps the per-row append
+    cost off the hot loop.  Counters are event-derived: one
+    ``test-retried`` event is one retried test, one ``test-lost``
+    event is one lost slot (and a ``speedtest`` loss is also a failed
+    test, matching the historical accounting).
+    """
+
+    def __init__(self, dataset: Any) -> None:
+        self.dataset = dataset
+        self._pending: List[Any] = []
+
+    def on_hour_started(self, event: CampaignEvent) -> None:
+        self._flush()
+
+    def on_campaign_finished(self, event: CampaignEvent) -> None:
+        self._flush()
+
+    def on_test_completed(self, event: Any) -> None:
+        if event.record is None:
+            raise ValidationError(
+                "TestCompleted event carries no record payload; the "
+                "dataset observer cannot rebuild the dataset without it")
+        self._pending.append(event.record)
+
+    def on_test_retried(self, event: Any) -> None:
+        self.dataset.retried_tests += 1
+
+    def on_test_lost(self, event: Any) -> None:
+        if event.reason == "speedtest":
+            self.dataset.failed_tests += 1
+        self.dataset.mark_lost(event.ts, event.region, event.vm_name,
+                               event.server_id, event.reason)
+
+    def _flush(self) -> None:
+        if self._pending:
+            self.dataset.extend(self._pending)
+            self._pending.clear()
+
+
+# ----------------------------------------------------------------------
+
+
+class Histogram:
+    """A deterministic log2-bucketed histogram of non-negative values.
+
+    Bucket ``i`` holds values in ``[2**(i-1), 2**i)`` (bucket 0 holds
+    ``[0, 1)``), capped at ``n_buckets - 1``.  Bounds are fixed, so
+    two identical runs produce identical snapshots.
+    """
+
+    def __init__(self, n_buckets: int = 40) -> None:
+        if n_buckets < 1:
+            raise ValidationError(
+                f"n_buckets must be >= 1, got {n_buckets}")
+        self.n_buckets = n_buckets
+        self.counts = [0] * n_buckets
+        self.n = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValidationError(
+                f"histogram values must be >= 0, got {value}")
+        index = 0 if value < 1.0 else int(math.log2(value)) + 1
+        self.counts[min(index, self.n_buckets - 1)] += 1
+        self.n += 1
+        self.total += value
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Summary + the non-empty buckets, keyed by upper bound."""
+        buckets = {f"<{2 ** index if index else 1}": count
+                   for index, count in enumerate(self.counts) if count}
+        return {"count": self.n, "mean": self.mean,
+                "max": self.max_value, "buckets": buckets}
+
+
+#: Event fields feeding the latency / byte histograms.
+_LATENCY_FIELDS = ("latency_ms",)
+_BYTE_FIELDS = ("artefact_bytes", "size_bytes")
+
+
+class MetricsObserver(Observer):
+    """Counters + histograms + billing totals over the event stream."""
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+        self.lost_by_reason: Counter = Counter()
+        self.latency_ms: Dict[str, Histogram] = {}
+        self.bytes: Dict[str, Histogram] = {}
+        self.usd_by_category: Dict[str, float] = {}
+
+    def on_event(self, event: CampaignEvent) -> None:
+        kind = event.kind
+        self.counts[kind] += 1
+        for name in _LATENCY_FIELDS:
+            value = getattr(event, name, None)
+            if value is not None:
+                self._hist(self.latency_ms, kind).add(float(value))
+        for name in _BYTE_FIELDS:
+            value = getattr(event, name, None)
+            if value is not None:
+                self._hist(self.bytes, kind).add(float(value))
+        if kind == "test-lost":
+            self.lost_by_reason[event.reason] += 1
+        elif kind == "billing-charged":
+            self.usd_by_category[event.category] = (
+                self.usd_by_category.get(event.category, 0.0)
+                + event.amount_usd)
+
+    @staticmethod
+    def _hist(table: Dict[str, Histogram], kind: str) -> Histogram:
+        hist = table.get(kind)
+        if hist is None:
+            hist = table[kind] = Histogram()
+        return hist
+
+    def count(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One plain, sorted dict with everything this observer saw."""
+        return {
+            "events": dict(sorted(self.counts.items())),
+            "lost_by_reason": dict(sorted(self.lost_by_reason.items())),
+            "latency_ms": {kind: hist.snapshot()
+                           for kind, hist in sorted(self.latency_ms.items())},
+            "bytes": {kind: hist.snapshot()
+                      for kind, hist in sorted(self.bytes.items())},
+            "usd_by_category": dict(sorted(self.usd_by_category.items())),
+        }
+
+
+# ----------------------------------------------------------------------
+
+
+class TraceObserver(Observer):
+    """Writes every event as one JSON line (opaque payloads dropped).
+
+    Accepts a path (opened lazily, closed by :meth:`close`) or any
+    object with a ``write`` method (kept open; the caller owns it).
+    """
+
+    def __init__(self, target: Union[str, "IO[str]", TextIO]) -> None:
+        self._path: Optional[str] = None
+        self._handle: Optional[Any] = None
+        if hasattr(target, "write"):
+            self._handle = target
+            self._owns_handle = False
+        else:
+            self._path = str(target)
+            self._owns_handle = True
+        self.n_written = 0
+
+    def on_event(self, event: CampaignEvent) -> None:
+        if self._handle is None:
+            self._handle = open(self._path, "w", encoding="utf-8")
+        self._handle.write(json.dumps(event_payload(event),
+                                      sort_keys=True) + "\n")
+        self.n_written += 1
+
+    def close(self) -> None:
+        """Flush and (when we opened the file) close the trace."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceObserver":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+
+
+class ProgressObserver(Observer):
+    """One-line campaign progress ticks for interactive runs."""
+
+    def __init__(self, echo: Optional[Callable[[str], None]] = None,
+                 every_hours: int = 24) -> None:
+        if every_hours < 1:
+            raise ValidationError(
+                f"every_hours must be >= 1, got {every_hours}")
+        self.echo = echo if echo is not None else print
+        self.every_hours = every_hours
+        self.completed = 0
+        self.lost = 0
+
+    def on_test_completed(self, event: CampaignEvent) -> None:
+        self.completed += 1
+
+    def on_test_lost(self, event: CampaignEvent) -> None:
+        self.lost += 1
+
+    def on_hour_started(self, event: Any) -> None:
+        if event.hour_index % self.every_hours == 0:
+            self.echo(f"[campaign] hour {event.hour_index}: "
+                      f"{self.completed} tests, {self.lost} lost")
+
+    def on_campaign_finished(self, event: Any) -> None:
+        self.echo(f"[campaign] finished {event.n_hours} hours: "
+                  f"{self.completed} tests, {self.lost} lost")

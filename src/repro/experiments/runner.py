@@ -18,10 +18,12 @@ Environment knobs (read once, at first use):
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..core.campaign import CampaignDataset
 from ..core.orchestrator import DeploymentPlan
+from ..engine import MetricsObserver
+from ..errors import MissingEntryError
 from ..core.selection.differential import DifferentialSelection
 from ..core.selection.topology_based import TopologySelection
 from .scenario import Scenario, apply_differential_story, build_scenario
@@ -69,6 +71,7 @@ class ExperimentCache:
         self._differential_plans: Dict[str, DeploymentPlan] = {}
         self._topology_dataset: Optional[CampaignDataset] = None
         self._differential_dataset: Optional[CampaignDataset] = None
+        self._campaign_metrics: Dict[str, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
 
@@ -131,8 +134,10 @@ class ExperimentCache:
         if self._topology_dataset is None:
             plans = [self.topology_plan(r)
                      for r in self.scenario.us_regions]
+            metrics = MetricsObserver()
             self._topology_dataset = self.scenario.clasp.run_campaign(
-                plans, days=days or env_days())
+                plans, days=days or env_days(), observers=(metrics,))
+            self._campaign_metrics["topology"] = metrics.snapshot()
         return self._topology_dataset
 
     def differential_dataset(self, days: Optional[int] = None
@@ -141,9 +146,28 @@ class ExperimentCache:
         if self._differential_dataset is None:
             plans = [self.differential_plan(r)
                      for r in self.scenario.differential_regions]
+            metrics = MetricsObserver()
             self._differential_dataset = self.scenario.clasp.run_campaign(
-                plans, days=days or env_days())
+                plans, days=days or env_days(), observers=(metrics,))
+            self._campaign_metrics["differential"] = metrics.snapshot()
         return self._differential_dataset
+
+    def campaign_metrics(self, campaign: str) -> Dict[str, Any]:
+        """The metrics snapshot for ``"topology"`` / ``"differential"``.
+
+        Runs the corresponding campaign on first use; the snapshot
+        shape is :meth:`repro.engine.observers.MetricsObserver.snapshot`.
+        """
+        if campaign not in ("topology", "differential"):
+            raise MissingEntryError(
+                f"unknown campaign {campaign!r}; expected "
+                f"'topology' or 'differential'")
+        if campaign not in self._campaign_metrics:
+            if campaign == "topology":
+                self.topology_dataset()
+            else:
+                self.differential_dataset()
+        return self._campaign_metrics[campaign]
 
 
 _CACHES: Dict[Tuple[int, float], ExperimentCache] = {}

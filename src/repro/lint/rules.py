@@ -13,6 +13,8 @@ RPR004    layering-violation          ``netsim -> cloud -> tools -> core ->
                                       experiments`` import order
 RPR005    bare-except                 no silent swallowing of every exception
 RPR006    unseeded-rng-construction   generators are built only by ``SeedTree``
+RPR007    engine-isolation            ``repro.engine`` imports only
+                                      units/errors/rng/simclock
 ========  ==========================  =============================================
 
 Each rule is a plain function ``(ModuleContext) -> Iterable[Finding]``
@@ -372,3 +374,37 @@ def check_rng_construction(ctx: "ModuleContext") -> Iterator[Finding]:
                           f"direct numpy.random use ({target}); construct "
                           f"generators via SeedTree.generator(label) in "
                           f"repro.rng")
+
+
+# --------------------------------------------------------------------------
+# RPR007 engine-isolation
+# --------------------------------------------------------------------------
+
+#: The only repro subpackages/modules repro.engine may import.  Domain
+#: objects (VMs, schedules, datasets) reach the engine as opaque duck-
+#: typed payloads, never as imports, so the instrumentation seam can
+#: never grow an upward dependency on the layers it instruments.
+_ENGINE_ALLOWED = frozenset({"units", "errors", "rng", "simclock", "engine"})
+
+
+@rule("RPR007", "engine-isolation",
+      "repro.engine imports a domain layer; the engine may import only "
+      "repro.units/errors/rng/simclock and itself")
+def check_engine_isolation(ctx: "ModuleContext") -> Iterator[Finding]:
+    if not (ctx.module or "").startswith("repro.engine"):
+        return
+    seen = set()
+    for line, imported in _imported_modules(ctx):
+        parts = imported.split(".")
+        if parts[0] != "repro" or len(parts) < 2:
+            continue
+        if parts[1] in _ENGINE_ALLOWED:
+            continue
+        key = (line, parts[1])
+        if key in seen:
+            continue
+        seen.add(key)
+        yield Finding(ctx.path, line, "RPR007",
+                      f"repro.engine imports {imported}; the engine may "
+                      f"depend only on repro.units/errors/rng/simclock - "
+                      f"pass domain objects in as opaque payloads instead")

@@ -9,7 +9,7 @@ profiles, and a throughput distribution strip.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -56,10 +56,33 @@ def _slice_report(report: CongestionReport,
     return sliced
 
 
+def _engine_panel(metrics: Dict[str, Any]) -> List[str]:
+    """The engine-events panel from a metrics observer snapshot."""
+    lines = ["## engine events"]
+    table = TextTable(["event", "count"])
+    for kind, count in metrics.get("events", {}).items():
+        table.add_row([kind, count])
+    lines.append(table.render())
+    usd = metrics.get("usd_by_category", {})
+    if usd:
+        lines.append("billing: " + " | ".join(
+            f"{category} ${amount:.2f}"
+            for category, amount in usd.items()))
+    return lines
+
+
 def render_dashboard(dataset: CampaignDataset,
                      report: Optional[CongestionReport] = None,
-                     top_k: int = 5) -> str:
-    """Render the full dashboard as one text block."""
+                     top_k: int = 5,
+                     metrics: Optional[Dict[str, Any]] = None) -> str:
+    """Render the full dashboard as one text block.
+
+    *metrics* is an optional
+    :meth:`~repro.engine.observers.MetricsObserver.snapshot` dict from
+    the campaign run; when given, an engine-events panel (event counts
+    and billing totals) is appended.  Without it the header falls back
+    to the dataset's own counters.
+    """
     if report is None:
         report = detect(dataset)
     lines: List[str] = ["# CLASP campaign dashboard", ""]
@@ -92,4 +115,7 @@ def render_dashboard(dataset: CampaignDataset,
     if all_downloads.size:
         lines.append("## download throughput distribution (Mbps)")
         lines.append(ascii_histogram(all_downloads, bins=10))
+    if metrics is not None:
+        lines.append("")
+        lines.extend(_engine_panel(metrics))
     return "\n".join(lines)

@@ -35,7 +35,14 @@ class BrowserArtifacts:
     result: SpeedTestResult
     pcap_bytes: int
     capture_bytes: int
-    retried: bool
+    #: Attempts made before the result, including the successful one
+    #: (so 1 means it worked first try).
+    attempts: int
+
+    @property
+    def retried(self) -> bool:
+        """Whether the test needed more than one attempt."""
+        return self.attempts > 1
 
     @property
     def upload_size_bytes(self) -> int:
@@ -80,7 +87,7 @@ class HeadlessBrowser:
                 result=result,
                 pcap_bytes=pcap,
                 capture_bytes=_CAPTURE_OVERHEAD_BYTES,
-                retried=attempt > 0,
+                attempts=attempt + 1,
             )
         assert last_error is not None
         raise last_error

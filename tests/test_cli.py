@@ -86,6 +86,25 @@ def test_campaign_command_faults_off_digest_stable(capsys):
     assert "injected" not in first  # no injector without --faults
 
 
+def test_campaign_command_trace_and_metrics(capsys, tmp_path):
+    import json
+
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["campaign", "--scale", "0.05", "--days", "1",
+                 "--seed", "3", "--servers", "6",
+                 "--trace", str(trace_path), "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "engine events" in out
+    assert "test-completed" in out
+    assert "billed vm_hours" in out
+    assert f"-> {trace_path}" in out
+    lines = trace_path.read_text().splitlines()
+    assert lines  # the whole campaign is on disk as JSON events
+    kinds = {json.loads(line)["kind"] for line in lines}
+    assert {"hour-started", "test-completed",
+            "billing-charged", "campaign-finished"} <= kinds
+
+
 def test_lint_command_clean_tree(capsys):
     import pathlib
 
@@ -99,8 +118,8 @@ def test_lint_command_clean_tree(capsys):
 def test_lint_command_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("RPR001", "RPR002", "RPR003",
-                 "RPR004", "RPR005", "RPR006"):
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004",
+                 "RPR005", "RPR006", "RPR007"):
         assert code in out
 
 

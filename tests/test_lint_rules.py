@@ -26,7 +26,7 @@ def test_rule_catalogue_is_complete():
     codes = [r.code for r in all_rules()]
     assert codes == sorted(codes)
     for expected in ("RPR001", "RPR002", "RPR003",
-                     "RPR004", "RPR005", "RPR006"):
+                     "RPR004", "RPR005", "RPR006", "RPR007"):
         assert expected in codes
 
 
@@ -338,3 +338,33 @@ def test_finding_format():
     finding = Finding("src/repro/x.py", 3, "RPR001", "boom")
     assert finding.format() == "src/repro/x.py:3: RPR001 boom"
     assert finding.baseline_key() == "src/repro/x.py:3:RPR001"
+
+
+# -- RPR007 engine isolation ------------------------------------------------
+
+def test_engine_importing_core_flagged():
+    assert codes_of("""
+        from repro.core.campaign import CampaignDataset
+    """, module="repro.engine.observers") == ["RPR007"]
+
+
+def test_engine_relative_import_of_domain_flagged():
+    assert codes_of("""
+        from ..experiments import build_scenario
+    """, module="repro.engine.lanes") == ["RPR007"]
+
+
+def test_engine_allowed_imports_stay_silent():
+    assert codes_of("""
+        from repro.errors import ValidationError
+        from repro.rng import SeedTree
+        from repro.simclock import SimClock
+        from repro.units import HOUR
+        from .events import CampaignEvent
+    """, module="repro.engine.bus") == []
+
+
+def test_engine_rule_ignores_other_packages():
+    assert codes_of("""
+        from repro.core.campaign import CampaignDataset
+    """, module="repro.report.fixture") == []

@@ -99,3 +99,59 @@ def test_series_preserves_all_rows_property(rows):
         assert list(series["ts"]) == [e[0] for e in expected]
         assert len(series["value"]) == len(expected)
         assert np.all(np.diff(series["ts"]) >= 0)
+
+
+# -- batch extend + the sorted-view cache -----------------------------------
+
+def test_extend_batches_rows_across_series(table):
+    table.extend([
+        (4.0, ("w1", "s1"), (350.0, 96.0)),
+        (0.5, ("w1", "s2"), (150.0, 93.0)),
+        (6.0, ("w2", "s9"), (500.0, 99.0)),  # brand-new series
+    ])
+    assert list(table.series(("w1", "s1"))["ts"]) == [1.0, 3.0, 4.0]
+    assert list(table.series(("w1", "s2"))["ts"]) == [0.5, 2.0]
+    assert list(table.series(("w2", "s9"))["down"]) == [500.0]
+    assert len(table) == 7
+
+
+def test_extend_validates_arity(table):
+    with pytest.raises(TSDBError):
+        table.extend([(1.0, ("w1",), (1.0, 2.0))])
+    with pytest.raises(TSDBError):
+        table.extend([(1.0, ("w1", "s1"), (1.0,))])
+
+
+def test_extend_matches_repeated_append():
+    rows = [(float(ts), ("r", "s"), (float(ts) * 2, 1.0))
+            for ts in (3, 1, 2)]
+    one = Table("a", ("region", "server"), ("down", "up"))
+    for ts, tags, fields in rows:
+        one.append(ts, tags, fields)
+    other = Table("b", ("region", "server"), ("down", "up"))
+    other.extend(rows)
+    for key in one.tag_combinations():
+        left, right = one.series(key), other.series(key)
+        for name in ("ts", "down", "up"):
+            assert np.array_equal(left[name], right[name])
+
+
+def test_series_view_is_cached_until_append(table):
+    first = table.series(("w1", "s1"))
+    again = table.series(("w1", "s1"))
+    assert first["ts"] is again["ts"]  # same cached array, no re-sort
+    table.append(0.25, ("w1", "s1"), (50.0, 80.0))
+    refreshed = table.series(("w1", "s1"))
+    assert refreshed["ts"] is not first["ts"]  # cache invalidated
+    assert list(refreshed["ts"]) == [0.25, 1.0, 3.0]
+    # The stale view still holds its original (pre-append) data.
+    assert list(first["ts"]) == [1.0, 3.0]
+
+
+def test_series_arrays_are_read_only(table):
+    series = table.series(("w1", "s1"))
+    with pytest.raises(ValueError):
+        series["ts"][0] = -1.0
+    with pytest.raises(ValueError):
+        series["down"][0] = -1.0
+    assert np.array(series["ts"], copy=True).flags.writeable  # copies work
