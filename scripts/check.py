@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""One-stop verification: ``repro lint`` then the test suite.
+"""One-stop verification: lint, the test suite, and a bench smoke.
 
 This is what ``make check`` runs.  Coverage enforcement for
-``repro.faults`` and ``repro.engine`` (configured in pyproject.toml,
->=90% lines) activates automatically when pytest-cov is installed;
-without it the suite still runs, just without the coverage gate, so
-the check works in minimal environments.
+``repro.faults``, ``repro.engine``, and ``repro.obs`` (configured in
+pyproject.toml, >=90% lines) activates automatically when pytest-cov
+is installed; without it the suite still runs, just without the
+coverage gate, so the check works in minimal environments.  The bench
+smoke runs the observability-overhead benchmark at a tiny scale to
+catch instrumentation cost regressions without the full bench
+harness.
 """
 
 from __future__ import annotations
@@ -40,8 +43,15 @@ def main() -> int:
         pytest_argv += ["--cov", "--cov-fail-under=90"]
     else:
         print("== note: pytest-cov not installed; skipping the "
-              "repro.faults / repro.engine coverage gate", flush=True)
-    return _run("tests", pytest_argv)
+              "repro.faults / repro.engine / repro.obs coverage gate",
+              flush=True)
+    status = _run("tests", pytest_argv)
+    if status != 0:
+        return status
+
+    return _run("bench smoke", [
+        sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+        "benchmarks/bench_obs_overhead.py"])
 
 
 if __name__ == "__main__":

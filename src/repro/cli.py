@@ -14,8 +14,16 @@ Subcommands:
   totals (``--metrics``).
 * ``world`` - generate a scenario and print its inventory.
 * ``cost`` - estimate the cloud bill for a campaign shape.
+* ``obs`` - run an instrumented campaign with :mod:`repro.obs` enabled
+  and dump the cross-layer span tree or metrics (``--format
+  tree|jsonl|prom``).
 * ``lint`` - run the :mod:`repro.lint` invariant checker over the
   source tree (determinism, unit-safety, error hierarchy, layering).
+
+``campaign`` and ``experiment`` also accept ``--profile DIR``: the run
+executes with observability enabled and writes a profile directory
+(``spans.jsonl``, ``metrics.jsonl``, ``metrics.prom``,
+``profile.txt``).
 
 Every command accepts ``--seed`` / ``--scale`` (and ``--days`` where a
 campaign runs), mirroring the ``REPRO_*`` environment knobs the
@@ -46,9 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
         if days:
             p.add_argument("--days", type=int, default=7)
 
+    def profile_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--profile", metavar="DIR",
+                       help="run with repro.obs enabled and write a "
+                            "profile directory (spans + metrics)")
+
     p_exp = sub.add_parser("experiment",
                            help="run one paper table/figure experiment")
     p_exp.add_argument("id", choices=EXPERIMENTS)
+    profile_opt(p_exp)
     common(p_exp)
 
     p_loop = sub.add_parser("quickloop",
@@ -73,7 +87,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--metrics", action="store_true",
                         help="print engine event counts and billing "
                              "totals after the campaign")
+    profile_opt(p_camp)
     common(p_camp)
+
+    p_obs = sub.add_parser("obs",
+                           help="run an instrumented campaign and dump "
+                                "the span tree / metrics")
+    p_obs.add_argument("--region", default="us-west1")
+    p_obs.add_argument("--servers", type=int, default=8,
+                       help="server budget for the deployment")
+    p_obs.add_argument("--faults", choices=("off", "default", "heavy"),
+                       default="off",
+                       help="fault-injection plan (seed-deterministic)")
+    p_obs.add_argument("--format", choices=("tree", "jsonl", "prom"),
+                       default="tree", dest="fmt",
+                       help="tree = span tree + metric summary, jsonl = "
+                            "spans and metrics as JSON lines, prom = "
+                            "Prometheus text format")
+    p_obs.add_argument("--capacity", type=int, default=4096,
+                       help="flight recorder capacity (spans retained)")
+    common(p_obs)
 
     p_world = sub.add_parser("world",
                              help="generate a world and print inventory")
@@ -96,17 +129,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_profile(profile_dir: str) -> None:
+    """Dump the enabled obs state as a profile directory and say so."""
+    import repro.obs as obs
+    from repro.obs.exporters import write_profile
+
+    files = write_profile(profile_dir, obs.tracer(), obs.registry())
+    print(f"profile: {len(files)} files -> {profile_dir}")
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import os
     os.environ.setdefault("REPRO_SEED", str(args.seed))
     os.environ.setdefault("REPRO_SCALE", str(args.scale))
     os.environ.setdefault("REPRO_DAYS", str(args.days))
+    import repro.obs as obs
     from repro import experiments
     from repro.experiments import shared_scenario
     module = getattr(experiments, args.id)
-    cache = shared_scenario(seed=args.seed, scale=args.scale)
-    result = module.run(cache)
-    print(module.render(result))
+    if args.profile:
+        obs.enable()
+    try:
+        cache = shared_scenario(seed=args.seed, scale=args.scale)
+        result = module.run(cache)
+        print(module.render(result))
+        if args.profile:
+            _write_profile(args.profile)
+    finally:
+        if args.profile:
+            obs.disable()
     return 0
 
 
@@ -136,6 +187,7 @@ def _cmd_quickloop(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import repro.obs as obs
     from repro.core.export import dataset_digest, export_dataset
     from repro.engine import MetricsObserver, TraceObserver
     from repro.experiments import build_scenario
@@ -145,27 +197,37 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     plans = {"off": None, "default": FaultPlan.default(),
              "heavy": FaultPlan.heavy()}
     fault_plan = plans[args.faults]
-    scenario = build_scenario(seed=args.seed, scale=args.scale,
-                              faults=fault_plan)
-    clasp = scenario.clasp
-    selection = clasp.select_topology_servers(args.region)
-    plan = clasp.deploy_topology(args.region, selection,
-                                 budget_servers=args.servers)
-    observers = []
-    metrics = None
-    if args.metrics:
-        metrics = MetricsObserver()
-        observers.append(metrics)
-    trace = None
-    if args.trace:
-        trace = TraceObserver(args.trace)
-        observers.append(trace)
+    if args.profile:
+        # Before scenario build so deployment/selection spans land in
+        # the profile too, not just the campaign hours.
+        obs.enable()
     try:
-        dataset = clasp.run_campaign([plan], days=args.days,
-                                     observers=observers)
+        scenario = build_scenario(seed=args.seed, scale=args.scale,
+                                  faults=fault_plan)
+        clasp = scenario.clasp
+        selection = clasp.select_topology_servers(args.region)
+        plan = clasp.deploy_topology(args.region, selection,
+                                     budget_servers=args.servers)
+        observers = []
+        metrics = None
+        if args.metrics:
+            metrics = MetricsObserver()
+            observers.append(metrics)
+        trace = None
+        if args.trace:
+            trace = TraceObserver(args.trace)
+            observers.append(trace)
+        try:
+            dataset = clasp.run_campaign([plan], days=args.days,
+                                         observers=observers)
+        finally:
+            if trace is not None:
+                trace.close()
+        if args.profile:
+            _write_profile(args.profile)
     finally:
-        if trace is not None:
-            trace.close()
+        if args.profile:
+            obs.disable()
     table = TextTable(["metric", "value"],
                       title=f"{args.region}: {args.days}-day campaign "
                             f"(faults={args.faults})")
@@ -196,6 +258,45 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.export:
         manifest = export_dataset(dataset, args.export)
         print(f"exported to {manifest.parent}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import repro.obs as obs
+    from repro.experiments import build_scenario
+    from repro.faults import FaultPlan
+    from repro.obs.exporters import (metrics_to_jsonlines,
+                                     metrics_to_prometheus,
+                                     render_span_tree, spans_to_jsonlines)
+
+    plans = {"off": None, "default": FaultPlan.default(),
+             "heavy": FaultPlan.heavy()}
+    obs.enable(capacity=args.capacity)
+    try:
+        scenario = build_scenario(seed=args.seed, scale=args.scale,
+                                  faults=plans[args.faults])
+        clasp = scenario.clasp
+        selection = clasp.select_topology_servers(args.region)
+        plan = clasp.deploy_topology(args.region, selection,
+                                     budget_servers=args.servers)
+        clasp.run_campaign([plan], days=args.days)
+        tracer = obs.tracer()
+        snapshot = obs.snapshot()
+        spans = tracer.finished()
+        if args.fmt == "tree":
+            print(render_span_tree(spans).rstrip("\n"))
+            recorder = tracer.recorder
+            print(f"spans: {recorder.n_recorded} recorded, "
+                  f"{recorder.n_dropped} dropped | layers: "
+                  f"{', '.join(tracer.layers())} | metrics: "
+                  f"{obs.registry().n_metrics}")
+        elif args.fmt == "jsonl":
+            print(spans_to_jsonlines(spans), end="")
+            print(metrics_to_jsonlines(snapshot), end="")
+        else:
+            print(metrics_to_prometheus(snapshot), end="")
+    finally:
+        obs.disable()
     return 0
 
 
@@ -267,6 +368,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "experiment": _cmd_experiment,
     "quickloop": _cmd_quickloop,
     "campaign": _cmd_campaign,
+    "obs": _cmd_obs,
     "world": _cmd_world,
     "cost": _cmd_cost,
     "lint": _cmd_lint,

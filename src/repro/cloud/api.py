@@ -22,6 +22,7 @@ import enum
 import itertools
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..errors import CloudError, QuotaExceededError
 from ..netsim.generator import GeneratedInternet
 from ..netsim.linkstate import LinkStateEvaluator
@@ -115,6 +116,19 @@ class CloudPlatform:
                   zone_suffix: Optional[str] = None,
                   name: Optional[str] = None) -> VirtualMachine:
         """Provision a VM and attach it to the region's PoP."""
+        with obs.span("cloud.create_vm", layer="cloud", sim_ts=ts,
+                      region=region_name, machine_type=machine_type,
+                      tier=tier.value) as sp:
+            vm = self._create_vm(region_name, machine_type, tier, ts,
+                                 zone_suffix, name)
+            sp.annotate(vm=vm.name)
+        obs.inc("cloud.vms_created")
+        return vm
+
+    def _create_vm(self, region_name: str, machine_type: str,
+                   tier: NetworkTier, ts: float,
+                   zone_suffix: Optional[str],
+                   name: Optional[str]) -> VirtualMachine:
         region = region_by_name(region_name)
         running = [v for v in self._vms.values()
                    if v.region_name == region_name and v.is_running]
@@ -206,7 +220,9 @@ class CloudPlatform:
         key = (vm.nic.host_pop_id, remote_pop_id, direction, vm.tier, flow_id)
         cached = self._route_cache.get(key)
         if cached is not None:
+            obs.inc("cloud.route.cache_hits")
             return cached
+        obs.inc("cloud.route.cache_misses")
         mode, first_pol, last_pol = _TIER_TABLE[(direction, vm.tier)]
         if direction is Direction.EGRESS:
             src, dst = vm.nic.host_pop_id, remote_pop_id

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..cloud.tiers import NetworkTier
 from ..errors import AnalysisError
 from ..units import DAY, HOUR
@@ -65,21 +66,24 @@ def performance_scatter(dataset: CampaignDataset,
     """
     points: List[ScatterPoint] = []
     month_s = 30 * DAY
-    for pair in dataset.pairs(region=region, tier=tier):
-        series = dataset.table.series(pair)
-        month_idx = ((series["ts"] - dataset.start_ts) // month_s).astype(int)
-        for month in np.unique(month_idx):
-            mask = month_idx == month
-            if mask.sum() < min_samples:
-                continue
-            points.append(ScatterPoint(
-                region=pair[0], server_id=pair[1], tier=pair[2],
-                month_index=int(month),
-                p95_download_mbps=float(
-                    np.percentile(series["download"][mask], 95)),
-                p5_latency_ms=float(
-                    np.percentile(series["latency"][mask], 5)),
-                n_samples=int(mask.sum())))
+    with obs.span("analysis.performance_scatter", layer="analysis") as sp:
+        for pair in dataset.pairs(region=region, tier=tier):
+            series = dataset.table.series(pair)
+            month_idx = ((series["ts"] - dataset.start_ts)
+                         // month_s).astype(int)
+            for month in np.unique(month_idx):
+                mask = month_idx == month
+                if mask.sum() < min_samples:
+                    continue
+                points.append(ScatterPoint(
+                    region=pair[0], server_id=pair[1], tier=pair[2],
+                    month_index=int(month),
+                    p95_download_mbps=float(
+                        np.percentile(series["download"][mask], 95)),
+                    p5_latency_ms=float(
+                        np.percentile(series["latency"][mask], 5)),
+                    n_samples=int(mask.sum())))
+        sp.annotate(n_points=len(points))
     return points
 
 
@@ -141,31 +145,37 @@ def tier_comparison(dataset: CampaignDataset, region: str,
         raise AnalysisError(
             f"min_matched_hours must be >= 1, got {min_matched_hours}")
     comparison = TierComparison(region=region)
-    prem_pairs = {p[1]: p for p in dataset.pairs(
-        region=region, tier=NetworkTier.PREMIUM)}
-    std_pairs = {p[1]: p for p in dataset.pairs(
-        region=region, tier=NetworkTier.STANDARD)}
-    for server_id in sorted(set(prem_pairs) & set(std_pairs)):
-        prem = dataset.table.series(prem_pairs[server_id])
-        std = dataset.table.series(std_pairs[server_id])
-        prem_hours = (prem["ts"] // HOUR).astype(int)
-        std_hours = (std["ts"] // HOUR).astype(int)
-        common, prem_idx, std_idx = np.intersect1d(
-            prem_hours, std_hours, return_indices=True)
-        if common.size < min_matched_hours:
-            continue
-        with np.errstate(divide="ignore", invalid="ignore"):
-            d_down = (prem["download"][prem_idx] - std["download"][std_idx]) \
-                / std["download"][std_idx]
-            d_up = (prem["upload"][prem_idx] - std["upload"][std_idx]) \
-                / std["upload"][std_idx]
-            d_lat = (prem["latency"][prem_idx] - std["latency"][std_idx]) \
-                / std["latency"][std_idx]
-        keep = np.isfinite(d_down) & np.isfinite(d_up) & np.isfinite(d_lat)
-        comparison.delta_download[server_id] = d_down[keep]
-        comparison.delta_upload[server_id] = d_up[keep]
-        comparison.delta_latency[server_id] = d_lat[keep]
-        comparison.n_matched_hours += int(keep.sum())
+    with obs.span("analysis.tier_comparison", layer="analysis",
+                  region=region) as sp:
+        prem_pairs = {p[1]: p for p in dataset.pairs(
+            region=region, tier=NetworkTier.PREMIUM)}
+        std_pairs = {p[1]: p for p in dataset.pairs(
+            region=region, tier=NetworkTier.STANDARD)}
+        for server_id in sorted(set(prem_pairs) & set(std_pairs)):
+            prem = dataset.table.series(prem_pairs[server_id])
+            std = dataset.table.series(std_pairs[server_id])
+            prem_hours = (prem["ts"] // HOUR).astype(int)
+            std_hours = (std["ts"] // HOUR).astype(int)
+            common, prem_idx, std_idx = np.intersect1d(
+                prem_hours, std_hours, return_indices=True)
+            if common.size < min_matched_hours:
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                d_down = (prem["download"][prem_idx]
+                          - std["download"][std_idx]) \
+                    / std["download"][std_idx]
+                d_up = (prem["upload"][prem_idx] - std["upload"][std_idx]) \
+                    / std["upload"][std_idx]
+                d_lat = (prem["latency"][prem_idx]
+                         - std["latency"][std_idx]) \
+                    / std["latency"][std_idx]
+            keep = (np.isfinite(d_down) & np.isfinite(d_up)
+                    & np.isfinite(d_lat))
+            comparison.delta_download[server_id] = d_down[keep]
+            comparison.delta_upload[server_id] = d_up[keep]
+            comparison.delta_latency[server_id] = d_lat[keep]
+            comparison.n_matched_hours += int(keep.sum())
+        sp.annotate(n_matched_hours=comparison.n_matched_hours)
     return comparison
 
 
@@ -193,16 +203,18 @@ def congestion_probability(dataset: CampaignDataset,
                            pair: PairKey) -> HourlyProbability:
     """Hour-of-day congestion probability (server-local time)."""
     region, server_id, tier = pair
-    meta = dataset.server_meta(server_id)
-    series = dataset.table.series(pair)
-    local_hours = (((series["ts"] + meta.utc_offset_hours * HOUR)
-                    // HOUR) % 24).astype(int)
-    measurements = np.bincount(local_hours, minlength=24)
-    events = np.zeros(24, dtype=int)
-    for event in report.events_of(pair):
-        events[event.local_hour] += 1
-    with np.errstate(divide="ignore", invalid="ignore"):
-        prob = np.where(measurements > 0, events / measurements, 0.0)
+    with obs.span("analysis.congestion_probability", layer="analysis",
+                  server=server_id):
+        meta = dataset.server_meta(server_id)
+        series = dataset.table.series(pair)
+        local_hours = (((series["ts"] + meta.utc_offset_hours * HOUR)
+                        // HOUR) % 24).astype(int)
+        measurements = np.bincount(local_hours, minlength=24)
+        events = np.zeros(24, dtype=int)
+        for event in report.events_of(pair):
+            events[event.local_hour] += 1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            prob = np.where(measurements > 0, events / measurements, 0.0)
     return HourlyProbability(
         pair=pair,
         label=meta.label,

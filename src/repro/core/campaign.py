@@ -30,13 +30,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..cloud.api import CloudPlatform
 from ..cloud.tiers import NetworkTier
 from ..errors import (MissingEntryError, SpeedTestError,
                       TransientUploadError, ValidationError)
 from ..engine import (BillingCharged, CampaignEngine, DatasetObserver,
-                      EventBus, Lane, TestCompleted, TestLost, TestRetried,
-                      UploadAttempted, VMPreempted, VMReplaced)
+                      EventBus, Lane, MetricsObserver, TestCompleted,
+                      TestLost, TestRetried, UploadAttempted, VMPreempted,
+                      VMReplaced)
 from ..faults import FaultInjector, FaultPlan
 from ..rng import SeedTree
 from ..simclock import CAMPAIGN_START
@@ -478,6 +480,10 @@ class CampaignRunner:
         bus.subscribe(DatasetObserver(dataset))
         if cfg.charge_billing:
             bus.subscribe(_BillingObserver(self.platform, cfg, bus))
+        if obs.enabled():
+            # Campaign events land in the same process-wide snapshot
+            # as the layer instrumentation (engine.* metric names).
+            bus.subscribe(MetricsObserver(registry=obs.registry()))
         for observer in observers:
             bus.subscribe(observer)
 
@@ -487,5 +493,10 @@ class CampaignRunner:
             bus=bus,
             start_ts=cfg.start_ts,
             n_hours=cfg.n_hours)
-        engine.run()
+        with obs.span("campaign.run", layer="campaign",
+                      sim_ts=cfg.start_ts, n_hours=cfg.n_hours,
+                      n_lanes=len(engine.lanes)) as sp:
+            engine.run()
+            sp.annotate(completed_tests=dataset.completed_tests,
+                        lost_tests=dataset.lost_tests)
         return dataset

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..cloud.tiers import NetworkTier
 from ..errors import AnalysisError
 from ..units import DAY, HOUR
@@ -338,11 +339,17 @@ def detect(dataset: CampaignDataset,
     V(s, d) well-defined on what remains.
     """
     report = CongestionReport(threshold=threshold, metric=metric)
-    for pair in dataset.pairs(region=region, tier=tier):
-        records = pair_daily_records(dataset, pair, metric, min_samples)
-        report.day_records.extend(records)
-        _ts, vh = hourly_variability(dataset, pair, metric, min_samples)
-        report.pair_hours[pair] = int(vh.size)
-        report.events.extend(label_events(dataset, pair, threshold,
-                                          metric, min_samples))
+    with obs.span("analysis.congestion_detect", layer="analysis",
+                  threshold=threshold, metric=metric) as sp:
+        for pair in dataset.pairs(region=region, tier=tier):
+            records = pair_daily_records(dataset, pair, metric,
+                                         min_samples)
+            report.day_records.extend(records)
+            _ts, vh = hourly_variability(dataset, pair, metric,
+                                         min_samples)
+            report.pair_hours[pair] = int(vh.size)
+            report.events.extend(label_events(dataset, pair, threshold,
+                                              metric, min_samples))
+        sp.annotate(n_events=len(report.events),
+                    n_day_records=len(report.day_records))
     return report

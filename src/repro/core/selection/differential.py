@@ -15,6 +15,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ... import obs
 from ...cloud.tiers import NetworkTier
 from ...errors import SelectionError
 from ...speedtest.catalog import ServerCatalog
@@ -146,6 +147,15 @@ class DifferentialSelector:
         if target_count < 1:
             raise SelectionError(
                 f"target_count must be >= 1, got {target_count}")
+        with obs.span("selection.differential.select", layer="selection",
+                      region=region) as sp:
+            selection = self._select(medians, region, target_count)
+            sp.annotate(n_candidates=len(selection.candidates),
+                        n_selected=len(selection.selected))
+        return selection
+
+    def _select(self, medians: Sequence[TupleMedian], region: str,
+                target_count: int) -> DifferentialSelection:
         candidates = self.classify(medians, region)
         selection = DifferentialSelection(region=region,
                                           candidates=candidates)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ... import obs
 from ...errors import NoRouteError, SelectionError
 from ...netsim.routing import GraphMode, TierPolicy
 from ...speedtest.catalog import ServerCatalog
@@ -145,6 +146,15 @@ class TopologySelector:
     def run(self, region: str, src_pop_id: int, ts: float,
             country: str = "US") -> TopologySelection:
         """Full pilot scan for one region."""
+        with obs.span("selection.topology.run", layer="selection",
+                      sim_ts=ts, region=region) as sp:
+            selection = self._run(region, src_pop_id, ts, country)
+            sp.annotate(n_selected=len(selection.selected),
+                        n_links=selection.n_interdomain_links)
+        return selection
+
+    def _run(self, region: str, src_pop_id: int, ts: float,
+             country: str) -> TopologySelection:
         bdr_result = self._bdrmap.run(src_pop_id, ts)
         selection = TopologySelection(region=region, bdrmap=bdr_result)
         hop_index = bdr_result.build_hop_index()

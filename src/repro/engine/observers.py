@@ -21,13 +21,14 @@ the four counters - the engine never imports the core layer.
 
 from __future__ import annotations
 
+import copy
 import json
-import math
 from collections import Counter
 from typing import (Any, Callable, Dict, IO, List, Optional, TextIO,
                     Union)
 
 from ..errors import ValidationError
+from ..obs.metrics import Histogram, MetricsRegistry
 from .events import CampaignEvent, event_payload
 
 __all__ = ["DatasetObserver", "Histogram", "MetricsObserver",
@@ -99,45 +100,8 @@ class DatasetObserver(Observer):
 # ----------------------------------------------------------------------
 
 
-class Histogram:
-    """A deterministic log2-bucketed histogram of non-negative values.
-
-    Bucket ``i`` holds values in ``[2**(i-1), 2**i)`` (bucket 0 holds
-    ``[0, 1)``), capped at ``n_buckets - 1``.  Bounds are fixed, so
-    two identical runs produce identical snapshots.
-    """
-
-    def __init__(self, n_buckets: int = 40) -> None:
-        if n_buckets < 1:
-            raise ValidationError(
-                f"n_buckets must be >= 1, got {n_buckets}")
-        self.n_buckets = n_buckets
-        self.counts = [0] * n_buckets
-        self.n = 0
-        self.total = 0.0
-        self.max_value = 0.0
-
-    def add(self, value: float) -> None:
-        if value < 0:
-            raise ValidationError(
-                f"histogram values must be >= 0, got {value}")
-        index = 0 if value < 1.0 else int(math.log2(value)) + 1
-        self.counts[min(index, self.n_buckets - 1)] += 1
-        self.n += 1
-        self.total += value
-        self.max_value = max(self.max_value, value)
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.n if self.n else 0.0
-
-    def snapshot(self) -> Dict[str, Any]:
-        """Summary + the non-empty buckets, keyed by upper bound."""
-        buckets = {f"<{2 ** index if index else 1}": count
-                   for index, count in enumerate(self.counts) if count}
-        return {"count": self.n, "mean": self.mean,
-                "max": self.max_value, "buckets": buckets}
-
+# Histogram moved to repro.obs.metrics (the registry and the engine
+# share one bucket shape); it stays importable from here.
 
 #: Event fields feeding the latency / byte histograms.
 _LATENCY_FIELDS = ("latency_ms",)
@@ -145,32 +109,54 @@ _BYTE_FIELDS = ("artefact_bytes", "size_bytes")
 
 
 class MetricsObserver(Observer):
-    """Counters + histograms + billing totals over the event stream."""
+    """Counters + histograms + billing totals over the event stream.
 
-    def __init__(self) -> None:
+    When handed a :class:`~repro.obs.metrics.MetricsRegistry`, every
+    sample is mirrored into it under ``engine.*`` names, so campaign
+    events land in the same process-wide snapshot as the layer
+    instrumentation (spans, cache counters, ...).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.counts: Counter = Counter()
         self.lost_by_reason: Counter = Counter()
         self.latency_ms: Dict[str, Histogram] = {}
         self.bytes: Dict[str, Histogram] = {}
         self.usd_by_category: Dict[str, float] = {}
+        self.registry = registry
 
     def on_event(self, event: CampaignEvent) -> None:
         kind = event.kind
+        registry = self.registry
         self.counts[kind] += 1
+        if registry is not None:
+            registry.counter(f"engine.events.{kind}").inc()
         for name in _LATENCY_FIELDS:
             value = getattr(event, name, None)
             if value is not None:
                 self._hist(self.latency_ms, kind).add(float(value))
+                if registry is not None:
+                    registry.histogram(
+                        f"engine.latency_ms.{kind}").add(float(value))
         for name in _BYTE_FIELDS:
             value = getattr(event, name, None)
             if value is not None:
                 self._hist(self.bytes, kind).add(float(value))
+                if registry is not None:
+                    registry.histogram(
+                        f"engine.bytes.{kind}").add(float(value))
         if kind == "test-lost":
             self.lost_by_reason[event.reason] += 1
+            if registry is not None:
+                registry.counter(
+                    f"engine.lost.{event.reason}").inc()
         elif kind == "billing-charged":
             self.usd_by_category[event.category] = (
                 self.usd_by_category.get(event.category, 0.0)
                 + event.amount_usd)
+            if registry is not None:
+                registry.counter(
+                    f"engine.usd.{event.category}").inc(event.amount_usd)
 
     @staticmethod
     def _hist(table: Dict[str, Histogram], kind: str) -> Histogram:
@@ -183,8 +169,12 @@ class MetricsObserver(Observer):
         return self.counts.get(kind, 0)
 
     def snapshot(self) -> Dict[str, Any]:
-        """One plain, sorted dict with everything this observer saw."""
-        return {
+        """One plain, sorted dict with everything this observer saw.
+
+        The result is a deep copy: mutating it (or anything nested in
+        it) can never corrupt the live counters or histograms.
+        """
+        return copy.deepcopy({
             "events": dict(sorted(self.counts.items())),
             "lost_by_reason": dict(sorted(self.lost_by_reason.items())),
             "latency_ms": {kind: hist.snapshot()
@@ -192,7 +182,7 @@ class MetricsObserver(Observer):
             "bytes": {kind: hist.snapshot()
                       for kind, hist in sorted(self.bytes.items())},
             "usd_by_category": dict(sorted(self.usd_by_category.items())),
-        }
+        })
 
 
 # ----------------------------------------------------------------------

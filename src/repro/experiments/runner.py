@@ -167,6 +167,15 @@ class ExperimentCache:
                 self.topology_dataset()
             else:
                 self.differential_dataset()
+        if campaign not in self._campaign_metrics:
+            # The dataset existed before metrics collection was wired
+            # in (e.g. injected by a test), so running it again cannot
+            # produce a snapshot - name what *is* available.
+            raise MissingEntryError(
+                f"no metrics were collected for the {campaign!r} "
+                f"campaign (its dataset was built without a metrics "
+                f"observer); available campaign metrics: "
+                f"{sorted(self._campaign_metrics) or 'none'}")
         return self._campaign_metrics[campaign]
 
 

@@ -14,7 +14,11 @@ RPR004    layering-violation          ``netsim -> cloud -> tools -> core ->
 RPR005    bare-except                 no silent swallowing of every exception
 RPR006    unseeded-rng-construction   generators are built only by ``SeedTree``
 RPR007    engine-isolation            ``repro.engine`` imports only
-                                      units/errors/rng/simclock
+                                      units/errors/rng/simclock/obs
+RPR008    obs-confinement             wall-clock profiling
+                                      (``time.perf_counter`` family) only
+                                      inside ``repro.obs``, and ``repro.obs``
+                                      imports only units/errors/simclock
 ========  ==========================  =============================================
 
 Each rule is a plain function ``(ModuleContext) -> Iterable[Finding]``
@@ -151,11 +155,11 @@ def _iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
 # RPR001 nondeterministic-call
 # --------------------------------------------------------------------------
 
-#: Exact call targets that read wall clocks or OS entropy.
+#: Exact call targets that read wall clocks or OS entropy.  The
+#: duration-only perf-counter family is NOT here: it cannot leak an
+#: absolute date, so RPR008 governs it with a repro.obs carve-out.
 _NONDET_CALLS = frozenset({
     "time.time", "time.time_ns",
-    "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns",
     "os.urandom", "os.getrandom",
     "uuid.uuid1", "uuid.uuid4",
     "datetime.datetime.now", "datetime.datetime.utcnow",
@@ -384,12 +388,16 @@ def check_rng_construction(ctx: "ModuleContext") -> Iterator[Finding]:
 #: objects (VMs, schedules, datasets) reach the engine as opaque duck-
 #: typed payloads, never as imports, so the instrumentation seam can
 #: never grow an upward dependency on the layers it instruments.
-_ENGINE_ALLOWED = frozenset({"units", "errors", "rng", "simclock", "engine"})
+#: ``obs`` is allowed because metrics plumbing (the shared histogram
+#: shape, the registry observers feed) lives there, and obs itself sits
+#: below the engine in the dependency order (see RPR008).
+_ENGINE_ALLOWED = frozenset(
+    {"units", "errors", "rng", "simclock", "engine", "obs"})
 
 
 @rule("RPR007", "engine-isolation",
       "repro.engine imports a domain layer; the engine may import only "
-      "repro.units/errors/rng/simclock and itself")
+      "repro.units/errors/rng/simclock/obs and itself")
 def check_engine_isolation(ctx: "ModuleContext") -> Iterator[Finding]:
     if not (ctx.module or "").startswith("repro.engine"):
         return
@@ -406,5 +414,63 @@ def check_engine_isolation(ctx: "ModuleContext") -> Iterator[Finding]:
         seen.add(key)
         yield Finding(ctx.path, line, "RPR007",
                       f"repro.engine imports {imported}; the engine may "
-                      f"depend only on repro.units/errors/rng/simclock - "
-                      f"pass domain objects in as opaque payloads instead")
+                      f"depend only on repro.units/errors/rng/simclock/obs "
+                      f"- pass domain objects in as opaque payloads instead")
+
+
+# --------------------------------------------------------------------------
+# RPR008 obs-confinement
+# --------------------------------------------------------------------------
+
+#: Duration-only wall-clock reads.  These are allowed *solely* inside
+#: repro.obs, where they become span annotations for profiling - a
+#: scoped carve-out from the RPR001 wall-clock ban.
+_PERF_COUNTER_CALLS = frozenset({
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+})
+
+#: The only repro subpackages/modules repro.obs may import.  Keeping
+#: obs below every simulation layer guarantees instrumentation can
+#: observe the stack but never reach into it.
+_OBS_ALLOWED = frozenset({"units", "errors", "simclock", "obs"})
+
+#: The one package where wall-clock profiling may live.
+_OBS_HOME_PREFIX = "repro.obs"
+
+
+def _in_obs(module: Optional[str]) -> bool:
+    return (module or "").startswith(_OBS_HOME_PREFIX)
+
+
+@rule("RPR008", "obs-confinement",
+      "time.perf_counter-family call outside repro.obs, or repro.obs "
+      "importing beyond repro.units/errors/simclock; wall-time is a "
+      "span annotation, never simulation data")
+def check_obs_confinement(ctx: "ModuleContext") -> Iterator[Finding]:
+    if _in_obs(ctx.module):
+        # Inside obs the perf-counter family is legal; police imports.
+        seen = set()
+        for line, imported in _imported_modules(ctx):
+            parts = imported.split(".")
+            if parts[0] != "repro" or len(parts) < 2:
+                continue
+            if parts[1] in _OBS_ALLOWED:
+                continue
+            key = (line, parts[1])
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Finding(ctx.path, line, "RPR008",
+                          f"repro.obs imports {imported}; obs may depend "
+                          f"only on repro.units/errors/simclock so it can "
+                          f"observe every layer without joining any")
+        return
+    aliases = _import_aliases(ctx.tree)
+    for call in _iter_calls(ctx.tree):
+        target = _canonical_call(call, aliases)
+        if target in _PERF_COUNTER_CALLS:
+            yield Finding(ctx.path, call.lineno, "RPR008",
+                          f"wall-clock profiling call {target}() outside "
+                          f"repro.obs; wrap the region in an obs span "
+                          f"instead so wall-time stays an annotation")

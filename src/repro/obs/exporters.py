@@ -1,0 +1,194 @@
+"""Exporters: turn obs state into JSON-lines, Prometheus text, trees.
+
+Everything here is a pure serializer over :class:`Span` lists and
+:meth:`MetricsRegistry.snapshot` dicts - no I/O except
+:func:`write_profile`, which materialises one profile directory so
+``--profile PATH`` on the CLI is a single call.
+
+Output ordering is deterministic (sorted metric names, recorder span
+order), so profile artifacts diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from ..errors import ValidationError
+from .metrics import MetricsRegistry
+from .spans import Span, Tracer
+
+__all__ = [
+    "metrics_to_jsonlines",
+    "metrics_to_prometheus",
+    "render_span_tree",
+    "spans_to_jsonlines",
+    "write_profile",
+]
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus charset."""
+    safe = _PROM_BAD.sub("_", name)
+    if not safe or safe[0].isdigit():
+        safe = "_" + safe
+    return safe
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value; integral floats lose the trailing .0."""
+    return str(int(value)) if float(value).is_integer() else repr(value)
+
+
+# ----------------------------------------------------------------------
+# metrics
+
+
+def metrics_to_jsonlines(snapshot: Dict[str, Any]) -> str:
+    """One JSON object per metric: ``{"kind", "name", ...}`` lines."""
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append(json.dumps(
+            {"kind": "counter", "name": name, "value": value},
+            sort_keys=True))
+    for name, value in snapshot.get("gauges", {}).items():
+        lines.append(json.dumps(
+            {"kind": "gauge", "name": name, "value": value},
+            sort_keys=True))
+    for name, hist in snapshot.get("histograms", {}).items():
+        lines.append(json.dumps(
+            {"kind": "histogram", "name": name, **hist}, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_to_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Prometheus text exposition format (counters, gauges, histograms).
+
+    Histogram buckets are converted from the registry's sparse
+    ``{"<N": count}`` shape to the cumulative ``le``-labelled series
+    Prometheus expects, ending with the mandatory ``le="+Inf"`` bucket.
+    """
+    out: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} counter")
+        out.append(f"{prom} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} gauge")
+        out.append(f"{prom} {_fmt(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} histogram")
+        bounds = sorted((int(key[1:]), count) for key, count
+                        in hist.get("buckets", {}).items())
+        cumulative = 0
+        for bound, count in bounds:
+            cumulative += count
+            out.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+        out.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
+        out.append(f"{prom}_sum {_fmt(hist['mean'] * hist['count'])}")
+        out.append(f"{prom}_count {hist['count']}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ----------------------------------------------------------------------
+# spans
+
+
+def spans_to_jsonlines(spans: Sequence[Span]) -> str:
+    """One JSON object per finished span, recorder order."""
+    lines = [json.dumps(span.payload(), sort_keys=True) for span in spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_span_tree(spans: Sequence[Span], max_spans: int = 200) -> str:
+    """ASCII tree of the span forest, most useful for the CLI.
+
+    Spans whose parent fell off the flight-recorder ring render as
+    roots; at most *max_spans* lines are shown, with a trailing note
+    when the forest is larger.
+    """
+    if max_spans < 1:
+        raise ValidationError(
+            f"max_spans must be >= 1, got {max_spans}")
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[Any, List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+
+    lines: List[str] = []
+
+    def walk(span: Span, indent: int) -> None:
+        if len(lines) >= max_spans:
+            return
+        status = "" if span.status == "ok" else f" !{span.status}"
+        extra = ""
+        if span.sim_ts is not None:
+            extra = f" sim_ts={span.sim_ts:.0f}"
+        lines.append(f"{'  ' * indent}{span.name} [{span.layer}] "
+                     f"{span.wall_ms:.3f}ms{extra}{status}")
+        for child in children.get(span.span_id, []):
+            walk(child, indent + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    if len(spans) > len(lines):
+        lines.append(f"... ({len(spans) - len(lines)} more spans)")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# profile directory
+
+
+def write_profile(path: Union[str, Path], tracer: Tracer,
+                  registry: MetricsRegistry) -> List[Path]:
+    """Write a self-contained profile directory and return its files.
+
+    Layout::
+
+        PATH/spans.jsonl     one line per finished span
+        PATH/metrics.jsonl   one line per metric
+        PATH/metrics.prom    Prometheus text format
+        PATH/profile.txt     human-readable span tree + hot-span table
+    """
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    spans = tracer.finished()
+    snapshot = registry.snapshot()
+
+    files = []
+
+    def emit(name: str, text: str) -> None:
+        target = root / name
+        target.write_text(text, encoding="utf-8")
+        files.append(target)
+
+    emit("spans.jsonl", spans_to_jsonlines(spans))
+    emit("metrics.jsonl", metrics_to_jsonlines(snapshot))
+    emit("metrics.prom", metrics_to_prometheus(snapshot))
+
+    # profile.txt: span tree plus the wall-time-hottest span names.
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for span in spans:
+        totals[span.name] = totals.get(span.name, 0.0) + span.wall_ms
+        counts[span.name] = counts.get(span.name, 0) + 1
+    hot = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    report = ["# span tree", "",
+              render_span_tree(spans).rstrip("\n"), "",
+              "# hottest spans (total wall ms)", ""]
+    for name, total in hot[:20]:
+        report.append(f"{total:12.3f}ms  x{counts[name]:<6d} {name}")
+    if tracer.recorder.n_dropped:
+        report.append("")
+        report.append(f"# flight recorder dropped "
+                      f"{tracer.recorder.n_dropped} older spans")
+    emit("profile.txt", "\n".join(report) + "\n")
+    return files

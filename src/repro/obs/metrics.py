@@ -1,0 +1,163 @@
+"""The metrics registry: counters, gauges, and log2 histograms.
+
+One process-wide :class:`MetricsRegistry` (owned by :mod:`repro.obs`)
+collects operational metrics from every layer of the simulation stack.
+Metric values are *derived from* simulated data but never feed back
+into it, so instrumentation cannot perturb a campaign.
+
+:class:`Histogram` is the deterministic log2-bucketed histogram the
+engine's :class:`~repro.engine.observers.MetricsObserver` has always
+used; it moved here so the engine and the registry share one bucket
+shape (the engine re-exports it for compatibility).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+from ..errors import ConfigError, ValidationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """A deterministic log2-bucketed histogram of non-negative values.
+
+    Bucket ``i`` holds values in ``[2**(i-1), 2**i)`` (bucket 0 holds
+    ``[0, 1)``), capped at ``n_buckets - 1``.  Bounds are fixed, so
+    two identical runs produce identical snapshots.
+    """
+
+    def __init__(self, n_buckets: int = 40) -> None:
+        if n_buckets < 1:
+            raise ValidationError(
+                f"n_buckets must be >= 1, got {n_buckets}")
+        self.n_buckets = n_buckets
+        self.counts = [0] * n_buckets
+        self.n = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValidationError(
+                f"histogram values must be >= 0, got {value}")
+        index = 0 if value < 1.0 else int(math.log2(value)) + 1
+        self.counts[min(index, self.n_buckets - 1)] += 1
+        self.n += 1
+        self.total += value
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Summary + the non-empty buckets, keyed by upper bound."""
+        buckets = {f"<{2 ** index if index else 1}": count
+                   for index, count in enumerate(self.counts) if count}
+        return {"count": self.n, "mean": self.mean,
+                "max": self.max_value, "buckets": buckets}
+
+
+class Counter:
+    """A monotonically increasing count (events, cache hits, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValidationError(
+                f"counter {self.name!r} cannot decrease (inc by {n})")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (queue depth, active lanes, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, created on first use.
+
+    A name belongs to exactly one metric type for the registry's
+    lifetime; asking for the same name as a different type raises
+    :class:`~repro.errors.ConfigError` rather than silently splitting
+    the series.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+
+    def _claim(self, name: str, kind: str) -> None:
+        if not name or not isinstance(name, str):
+            raise ValidationError(
+                f"metric name must be a non-empty string, got {name!r}")
+        owners = {"counter": self._counters, "gauge": self._gauges,
+                  "histogram": self._histograms}
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ConfigError(
+                    f"metric {name!r} is already registered as a "
+                    f"{other_kind}, cannot reuse it as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._claim(name, "counter")
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._claim(name, "gauge")
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, n_buckets: int = 40) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._claim(name, "histogram")
+            metric = self._histograms[name] = Histogram(n_buckets)
+        return metric
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_metrics(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One plain, sorted, mutation-safe dict of every metric."""
+        return {
+            "counters": {name: metric.value for name, metric
+                         in sorted(self._counters.items())},
+            "gauges": {name: metric.value for name, metric
+                       in sorted(self._gauges.items())},
+            "histograms": {name: metric.snapshot() for name, metric
+                           in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

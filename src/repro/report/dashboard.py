@@ -71,10 +71,33 @@ def _engine_panel(metrics: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _obs_panel(snapshot: Dict[str, Any]) -> List[str]:
+    """Cross-layer observability panel from a repro.obs snapshot."""
+    lines = ["## cross-layer metrics (repro.obs)"]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if counters or gauges:
+        table = TextTable(["metric", "value"])
+        for name, value in counters.items():
+            table.add_row([name, f"{value:g}"])
+        for name, value in gauges.items():
+            table.add_row([f"{name} (gauge)", f"{value:g}"])
+        lines.append(table.render())
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        table = TextTable(["histogram", "count", "mean", "max"])
+        for name, hist in histograms.items():
+            table.add_row([name, hist["count"],
+                           f"{hist['mean']:.2f}", f"{hist['max']:.2f}"])
+        lines.append(table.render())
+    return lines
+
+
 def render_dashboard(dataset: CampaignDataset,
                      report: Optional[CongestionReport] = None,
                      top_k: int = 5,
-                     metrics: Optional[Dict[str, Any]] = None) -> str:
+                     metrics: Optional[Dict[str, Any]] = None,
+                     obs_snapshot: Optional[Dict[str, Any]] = None) -> str:
     """Render the full dashboard as one text block.
 
     *metrics* is an optional
@@ -82,6 +105,10 @@ def render_dashboard(dataset: CampaignDataset,
     the campaign run; when given, an engine-events panel (event counts
     and billing totals) is appended.  Without it the header falls back
     to the dataset's own counters.
+
+    *obs_snapshot* is an optional :func:`repro.obs.snapshot` dict; when
+    given, a cross-layer metrics panel (per-layer counters and
+    histograms) is appended after the engine panel.
     """
     if report is None:
         report = detect(dataset)
@@ -118,4 +145,7 @@ def render_dashboard(dataset: CampaignDataset,
     if metrics is not None:
         lines.append("")
         lines.extend(_engine_panel(metrics))
+    if obs_snapshot is not None:
+        lines.append("")
+        lines.extend(_obs_panel(obs_snapshot))
     return "\n".join(lines)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from .. import obs
 from ..cloud.vm import VirtualMachine
 from ..errors import SpeedTestError, ValidationError
 from .protocol import SpeedTestEngine, SpeedTestResult
@@ -73,21 +74,33 @@ class HeadlessBrowser:
         :class:`SpeedTestError` when all attempts fail.
         """
         last_error: Optional[SpeedTestError] = None
-        for attempt in range(self.max_retries + 1):
-            attempt_ts = ts
-            if attempt and self.backoff is not None:
-                attempt_ts = ts + self.backoff(attempt - 1)
-            try:
-                result = self.engine.run(vm, server, attempt_ts)
-            except SpeedTestError as err:
-                last_error = err
-                continue
-            pcap = int(result.total_bytes * _PCAP_FRACTION)
-            return BrowserArtifacts(
-                result=result,
-                pcap_bytes=pcap,
-                capture_bytes=_CAPTURE_OVERHEAD_BYTES,
-                attempts=attempt + 1,
-            )
-        assert last_error is not None
-        raise last_error
+        # getattr: the engine only needs run(); test doubles may not
+        # carry the cosmetic identity fields the span annotates.
+        with obs.span("speedtest.run_test", layer="speedtest", sim_ts=ts,
+                      vm=getattr(vm, "name", "?"),
+                      server=getattr(server, "server_id", "?")) as sp:
+            for attempt in range(self.max_retries + 1):
+                attempt_ts = ts
+                if attempt and self.backoff is not None:
+                    attempt_ts = ts + self.backoff(attempt - 1)
+                try:
+                    result = self.engine.run(vm, server, attempt_ts)
+                except SpeedTestError as err:
+                    last_error = err
+                    continue
+                sp.annotate(attempts=attempt + 1)
+                obs.inc("speedtest.tests")
+                download = getattr(result, "download_mbps", None)
+                if download is not None:
+                    sp.annotate(download_mbps=round(download, 3))
+                    obs.observe("speedtest.download_mbps", download)
+                pcap = int(result.total_bytes * _PCAP_FRACTION)
+                return BrowserArtifacts(
+                    result=result,
+                    pcap_bytes=pcap,
+                    capture_bytes=_CAPTURE_OVERHEAD_BYTES,
+                    attempts=attempt + 1,
+                )
+            assert last_error is not None
+            obs.inc("speedtest.failures")
+            raise last_error

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..errors import ValidationError
 from ..netsim.addressing import format_ip
 from ..netsim.routing import GraphMode, TierPolicy
@@ -291,6 +292,11 @@ class Bdrmap:
             targets: Optional[Sequence[Tuple[int, int]]] = None,
             flow_ids: Sequence[int] = (0, 1, 2, 3, 4, 5)) -> BdrmapResult:
         """Probe + infer in one call (the paper's "pilot scan")."""
-        traces = self.collect_traces(src_pop_id, ts, targets=targets,
-                                     flow_ids=flow_ids)
-        return self.infer(traces)
+        with obs.span("tools.bdrmap.run", layer="tools",
+                      sim_ts=ts) as sp:
+            traces = self.collect_traces(src_pop_id, ts, targets=targets,
+                                         flow_ids=flow_ids)
+            result = self.infer(traces)
+            sp.annotate(n_traces=len(traces), n_links=len(result))
+        obs.inc("tools.bdrmap.runs")
+        return result

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 
+from .. import obs
 from ..netsim.addressing import format_ip
 from ..netsim.linkstate import LinkStateEvaluator
 from ..netsim.routing import GraphMode, Route, Router, TierPolicy
@@ -115,8 +116,8 @@ class Scamper:
             ip = iface.ip if iface is not None else topo.pop(receiver_pop_id).loopback_ip
             cumulative_oneway += link.delay_ms
             if self._eval is not None:
-                obs = self._eval.observe(link, direction, ts)
-                cumulative_oneway += obs.queue_delay_ms
+                link_state = self._eval.observe(link, direction, ts)
+                cumulative_oneway += link_state.queue_delay_ms
             # The destination itself always answers; routers may not.
             is_target = ip == target_ip
             responds = is_target or self._rng.random() >= self.no_response_rate
@@ -133,6 +134,8 @@ class Scamper:
             rtt = 2.0 * (cumulative_oneway + last_mile) + float(
                 self._rng.exponential(0.4))
             hops.append(Hop(len(route.links) + 1, target_ip, rtt))
+        obs.inc("tools.traceroute.traces")
+        obs.observe("tools.traceroute.hops", len(hops))
         return Traceroute(
             src_ip=src_pop.loopback_ip,
             dst_ip=target_ip,

@@ -119,7 +119,7 @@ def test_lint_command_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in ("RPR001", "RPR002", "RPR003", "RPR004",
-                 "RPR005", "RPR006", "RPR007"):
+                 "RPR005", "RPR006", "RPR007", "RPR008"):
         assert code in out
 
 

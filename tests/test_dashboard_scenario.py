@@ -26,6 +26,23 @@ def test_dashboard_over_campaign(two_region_dataset):
     assert "download throughput distribution" in text
     # Every region panel reports server counts.
     assert text.count("congested s-hours") >= 2
+    assert "cross-layer metrics" not in text  # no snapshot passed
+
+
+def test_dashboard_obs_panel(two_region_dataset):
+    snapshot = {
+        "counters": {"speedtest.tests": 42.0},
+        "gauges": {"lanes": 3.0},
+        "histograms": {"speedtest.download_mbps":
+                       {"count": 42, "mean": 97.5, "max": 240.0,
+                        "buckets": {"<128": 30, "<256": 12}}},
+    }
+    text = render_dashboard(two_region_dataset, top_k=2,
+                            obs_snapshot=snapshot)
+    assert "## cross-layer metrics (repro.obs)" in text
+    assert "speedtest.tests" in text
+    assert "lanes (gauge)" in text
+    assert "speedtest.download_mbps" in text
 
 
 def test_detectors_on_campaign_pairs(two_region_dataset):

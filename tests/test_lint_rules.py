@@ -25,8 +25,8 @@ def codes_of(source, module="repro.core.fixture", **kwargs):
 def test_rule_catalogue_is_complete():
     codes = [r.code for r in all_rules()]
     assert codes == sorted(codes)
-    for expected in ("RPR001", "RPR002", "RPR003",
-                     "RPR004", "RPR005", "RPR006", "RPR007"):
+    for expected in ("RPR001", "RPR002", "RPR003", "RPR004",
+                     "RPR005", "RPR006", "RPR007", "RPR008"):
         assert expected in codes
 
 
@@ -368,3 +368,64 @@ def test_engine_rule_ignores_other_packages():
     assert codes_of("""
         from repro.core.campaign import CampaignDataset
     """, module="repro.report.fixture") == []
+
+
+def test_engine_may_import_obs():
+    assert codes_of("""
+        from repro.obs.metrics import Histogram
+    """, module="repro.engine.observers") == []
+
+
+# -- RPR008 obs confinement -------------------------------------------------
+
+def test_perf_counter_outside_obs_flagged():
+    assert codes_of("""
+        import time
+        t0 = time.perf_counter()
+    """) == ["RPR008"]
+
+
+def test_monotonic_outside_obs_flagged():
+    assert codes_of("""
+        import time
+        t = time.monotonic_ns()
+    """, module="repro.netsim.tcp") == ["RPR008"]
+
+
+def test_perf_counter_inside_obs_allowed():
+    assert codes_of("""
+        import time
+        t0 = time.perf_counter()
+    """, module="repro.obs.spans") == []
+
+
+def test_absolute_wall_clock_still_rpr001_even_inside_obs():
+    # The carve-out covers durations only; absolute time stays banned.
+    assert codes_of("""
+        import time
+        now = time.time()
+    """, module="repro.obs.spans") == ["RPR001"]
+
+
+def test_obs_importing_domain_layer_flagged():
+    assert codes_of("""
+        from repro.netsim.tcp import multiflow_throughput_mbps
+    """, module="repro.obs.exporters") == ["RPR008"]
+
+
+def test_obs_importing_engine_flagged():
+    assert codes_of("""
+        from repro.engine.observers import MetricsObserver
+    """, module="repro.obs.metrics") == ["RPR008"]
+
+
+def test_obs_allowed_imports_stay_silent():
+    assert codes_of("""
+        import time
+        from repro.errors import ConfigError
+        from repro.simclock import SimClock
+        from repro.units import s_to_ms
+        from .spans import Tracer
+
+        t0 = time.perf_counter()
+    """, module="repro.obs", is_package=True) == []
