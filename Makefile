@@ -1,16 +1,20 @@
 # Development entry points.  `make check` is the single gate CI and
-# contributors run: repro.lint invariants, then the test suite (with
-# the repro.faults coverage floor when pytest-cov is available).
+# contributors run: repro.lint invariants (per-file and cross-file), a
+# SARIF smoke test, then the test suite (with the repro.faults coverage
+# floor when pytest-cov is available).
 
 PYTHON ?= python
 
-.PHONY: check lint test golden
+.PHONY: check lint lint-graph test golden
 
 check:
 	$(PYTHON) scripts/check.py
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src/repro
+
+lint-graph:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/repro --graph
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""One-stop verification: lint, the test suite, and a bench smoke.
+"""One-stop verification: lint, a SARIF smoke, the tests, a bench smoke.
 
 This is what ``make check`` runs.  Coverage enforcement for
 ``repro.faults``, ``repro.engine``, and ``repro.obs`` (configured in
@@ -14,6 +14,7 @@ harness.
 from __future__ import annotations
 
 import importlib.util
+import json
 import os
 import pathlib
 import subprocess
@@ -32,9 +33,32 @@ def _run(label, argv):
     return subprocess.call(argv, cwd=str(REPO_ROOT), env=env)
 
 
+def _sarif_smoke() -> int:
+    """Emit the tree as SARIF and verify the log parses and is clean."""
+    print("== sarif smoke: repro.lint --format sarif", flush=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(SRC / "repro"),
+         "--format", "sarif", "--no-cache"],
+        cwd=str(REPO_ROOT), env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        return proc.returncode
+    log = json.loads(proc.stdout)
+    if log.get("version") != "2.1.0" or len(log.get("runs", [])) != 1:
+        print("sarif smoke: malformed log", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
     status = _run("lint", [sys.executable, "-m", "repro.lint",
                            str(SRC / "repro")])
+    if status != 0:
+        return status
+
+    status = _sarif_smoke()
     if status != 0:
         return status
 

@@ -18,7 +18,10 @@ Subcommands:
   and dump the cross-layer span tree or metrics (``--format
   tree|jsonl|prom``).
 * ``lint`` - run the :mod:`repro.lint` invariant checker over the
-  source tree (determinism, unit-safety, error hierarchy, layering).
+  source tree (determinism, unit-safety, error hierarchy, layering,
+  plus the cross-file shard-safety rules); ``--graph`` prints the
+  module import graph, ``--format json|sarif`` emits machine-readable
+  findings.
 
 ``campaign`` and ``experiment`` also accept ``--profile DIR``: the run
 executes with observability enabled and writes a profile directory
@@ -125,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("paths", nargs="*", default=["src/repro"])
     p_lint.add_argument("--select", metavar="CODES")
     p_lint.add_argument("--baseline", metavar="FILE")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        dest="fmt", default="text")
+    p_lint.add_argument("--graph", action="store_true")
+    p_lint.add_argument("--no-cache", action="store_true")
     p_lint.add_argument("--list-rules", action="store_true")
     return parser
 
@@ -359,6 +366,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.baseline:
         argv += ["--baseline", args.baseline]
+    if args.fmt != "text":
+        argv += ["--format", args.fmt]
+    if args.graph:
+        argv.append("--graph")
+    if args.no_cache:
+        argv.append("--no-cache")
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)

@@ -16,7 +16,7 @@ stay readable after the class names refactor.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, ClassVar, Dict, Tuple
+from typing import Any, ClassVar, Dict, FrozenSet, Tuple
 
 __all__ = [
     "BillingCharged",
@@ -24,6 +24,7 @@ __all__ = [
     "CampaignFinished",
     "EVENT_KINDS",
     "HourStarted",
+    "OPAQUE_FIELDS",
     "TestCompleted",
     "TestLost",
     "TestRetried",
@@ -35,6 +36,12 @@ __all__ = [
 
 #: Field values of these types survive into :func:`event_payload`.
 _SCALAR_TYPES = (str, int, float, bool, type(None))
+
+#: Event fields that are *deliberately* non-scalar and therefore
+#: excluded from :func:`event_payload`.  Every non-scalar field must be
+#: declared here - the lint gate (RPR012) enforces it - so a payload
+#: field can never be dropped from the wire format by accident.
+OPAQUE_FIELDS: FrozenSet[str] = frozenset({"record"})
 
 
 @dataclass(frozen=True)
@@ -178,6 +185,8 @@ def event_payload(event: CampaignEvent) -> Dict[str, Any]:
     """
     payload: Dict[str, Any] = {"kind": event.kind}
     for spec in fields(event):
+        if spec.name in OPAQUE_FIELDS:
+            continue
         value = getattr(event, spec.name)
         if isinstance(value, _SCALAR_TYPES):
             payload[spec.name] = value

@@ -24,8 +24,8 @@ from __future__ import annotations
 import copy
 import json
 from collections import Counter
-from typing import (Any, Callable, Dict, IO, List, Optional, TextIO,
-                    Union)
+from typing import (Any, Callable, ClassVar, Dict, IO, List, Optional,
+                    TextIO, Tuple, Union)
 
 from ..errors import ValidationError
 from ..obs.metrics import Histogram, MetricsRegistry
@@ -40,8 +40,14 @@ class Observer:
 
     Subclasses implement only the hooks they care about; kind names
     map dash-to-underscore (``test-completed`` -> ``on_test_completed``).
-    Unknown kinds are ignored, so observers survive taxonomy growth.
+    Event kinds a subclass deliberately does not handle go in its
+    ``IGNORED_EVENTS`` tuple - the lint gate (RPR012) requires every
+    engine event kind to be either handled or listed there, so growing
+    the taxonomy can never silently bypass an observer.
     """
+
+    #: Event kinds this observer deliberately does not react to.
+    IGNORED_EVENTS: ClassVar[Tuple[str, ...]] = ()
 
     def on_event(self, event: CampaignEvent) -> None:
         handler = getattr(self, "on_" + event.kind.replace("-", "_"),
@@ -64,6 +70,11 @@ class DatasetObserver(Observer):
     event is one lost slot (and a ``speedtest`` loss is also a failed
     test, matching the historical accounting).
     """
+
+    #: Infra/billing kinds that never touch dataset contents.
+    IGNORED_EVENTS: ClassVar[Tuple[str, ...]] = (
+        "billing-charged", "upload-attempted", "vm-preempted",
+        "vm-replaced")
 
     def __init__(self, dataset: Any) -> None:
         self.dataset = dataset
@@ -234,6 +245,11 @@ class TraceObserver(Observer):
 
 class ProgressObserver(Observer):
     """One-line campaign progress ticks for interactive runs."""
+
+    #: Kinds with no bearing on the tests/lost tallies it prints.
+    IGNORED_EVENTS: ClassVar[Tuple[str, ...]] = (
+        "billing-charged", "test-retried", "upload-attempted",
+        "vm-preempted", "vm-replaced")
 
     def __init__(self, echo: Optional[Callable[[str], None]] = None,
                  every_hours: int = 24) -> None:

@@ -11,6 +11,10 @@ and only *new* findings fail the build.  Format, one entry per line::
 ``*`` in the line field matches every line, which keeps an entry valid
 across unrelated edits to the file.  Paths use forward slashes and are
 relative to the repository root (the directory the linter runs from).
+
+Every entry must carry a trailing ``#`` comment explaining why it is
+exempt rather than fixed - :func:`load_baseline` rejects bare entries,
+so an unexplained exemption cannot survive a CI run.
 """
 
 from __future__ import annotations
@@ -18,19 +22,30 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Set
 
+from ..errors import ConfigError
 from .findings import Finding
 
 __all__ = ["load_baseline", "matches_baseline", "write_baseline"]
 
 
 def load_baseline(path: "Path | str") -> Set[str]:
-    """Read *path* and return the set of ``path:line:code`` keys."""
+    """Read *path* and return the set of ``path:line:code`` keys.
+
+    Raises :class:`~repro.errors.ConfigError` for an entry without a
+    trailing justification comment: the baseline is a list of debts,
+    and a debt nobody can explain is a debt nobody will ever pay.
+    """
     entries: Set[str] = set()
     text = Path(path).read_text(encoding="utf-8")
-    for raw in text.splitlines():
-        line = raw.split("#", 1)[0].strip()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line, sep, comment = raw.partition("#")
+        line = line.strip()
         if not line:
             continue
+        if not sep or not comment.strip():
+            raise ConfigError(
+                f"{path}:{lineno}: baseline entry {line!r} has no "
+                f"justification comment; append `# why this is exempt`")
         entries.add(line)
     return entries
 
@@ -52,8 +67,8 @@ def write_baseline(path: "Path | str", findings: Iterable[Finding]) -> int:
     header = (
         "# repro.lint baseline - grandfathered findings, one per line.\n"
         "# Format: path:line:code ('*' as line matches any line).\n"
-        "# Every entry should carry a comment explaining why it is exempt.\n"
+        "# Every entry must carry a comment explaining why it is exempt.\n"
     )
-    body = "".join(key + "\n" for key in keys)
+    body = "".join(f"{key}  # TODO: justify or fix\n" for key in keys)
     Path(path).write_text(header + body, encoding="utf-8")
     return len(keys)

@@ -1,0 +1,114 @@
+"""Incremental lint cache keyed on file content hashes.
+
+Linting is pure: the findings and the :class:`~repro.lint.index.FileFacts`
+of a file are functions of nothing but its content, the rule set, and
+the fact-extraction version.  The cache exploits that - per display
+path it stores ``(content sha256, findings, facts)`` and a warm run
+skips parsing and the per-file rule pass entirely for unchanged files.
+Cross-file rules still run every time, but they consume cached facts,
+so a fully-warm run does no parsing at all.
+
+The cache key is salted with :data:`repro.lint.index.FACTS_VERSION`
+and the registered rule codes, so adding or changing a rule invalidates
+every entry instead of silently serving stale findings.  A corrupt or
+version-mismatched cache file is treated as empty, never as an error:
+the cache can only ever make a lint run faster, not wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+from .index import FACTS_VERSION, FileFacts
+
+__all__ = ["LintCache", "content_key"]
+
+_CACHE_FORMAT = 1
+
+
+def _salt(select: Optional[Sequence[str]]) -> str:
+    """Cache salt covering everything besides file content."""
+    from .rules import all_rules
+
+    parts = [f"format={_CACHE_FORMAT}", f"facts={FACTS_VERSION}",
+             "rules=" + ",".join(r.code for r in all_rules()),
+             "select=" + (",".join(sorted(select)) if select else "*")]
+    return "|".join(parts)
+
+
+def content_key(source: str, select: Optional[Sequence[str]] = None) -> str:
+    """Digest identifying (file content, rule configuration)."""
+    blob = (_salt(select) + "\x00" + source).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class LintCache:
+    """Load/store per-file lint results in one JSON file."""
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, Dict] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("format") != _CACHE_FORMAT:
+            return
+        entries = data.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, display: str, key: str
+            ) -> Optional[Tuple[List[Finding], FileFacts]]:
+        """Cached (findings, facts) for *display*, or None on miss."""
+        entry = self._entries.get(display)
+        if not entry or entry.get("key") != key:
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding(f[0], f[1], f[2], f[3])
+                        for f in entry["findings"]]
+            facts = FileFacts.from_dict(entry["facts"])
+        except (KeyError, IndexError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, facts
+
+    def put(self, display: str, key: str, findings: Sequence[Finding],
+            facts: FileFacts) -> None:
+        self._entries[display] = {
+            "key": key,
+            "findings": [[f.path, f.line, f.code, f.message]
+                         for f in findings],
+            "facts": facts.to_dict(),
+        }
+        self._dirty = True
+
+    def prune(self, keep: Sequence[str]) -> None:
+        """Drop entries for files that no longer exist in the target."""
+        kept = set(keep)
+        stale = [name for name in self._entries if name not in kept]
+        for name in stale:
+            del self._entries[name]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {"format": _CACHE_FORMAT, "files": self._entries}
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True),
+                       encoding="utf-8")
+        tmp.replace(self.path)
+        self._dirty = False

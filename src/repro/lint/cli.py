@@ -1,9 +1,17 @@
 """Command line for the invariant checker.
 
-``python -m repro.lint [paths] [--select CODES] [--baseline FILE]``
+``python -m repro.lint [paths] [--select CODES] [--baseline FILE]
+[--format text|json|sarif] [--graph]``
 
 Exit status is 0 when every finding is suppressed or baselined, 1 when
-actionable findings remain, so the command slots directly into CI.
+actionable findings remain, 2 on usage errors (nonexistent target, a
+target with no Python files, unknown rule code), so the command slots
+directly into CI.
+
+Runs are incremental by default: per-file results are cached in
+``.repro-lint-cache.json`` keyed on content hashes, and unchanged
+files skip parsing entirely (``--no-cache`` opts out, ``--cache FILE``
+relocates the cache).
 """
 
 from __future__ import annotations
@@ -16,9 +24,14 @@ from typing import List, Optional
 from ..errors import ReproError
 from .baseline import write_baseline
 from .engine import run
+from .output import (findings_to_json, findings_to_sarif,
+                     render_module_graph)
 from .rules import all_rules
 
-__all__ = ["build_parser", "main"]
+__all__ = ["DEFAULT_CACHE", "build_parser", "main"]
+
+#: Where incremental per-file results live unless ``--cache`` says else.
+DEFAULT_CACHE = ".repro-lint-cache.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,6 +51,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--root", metavar="DIR", type=Path,
                         help="directory findings paths are relative to "
                              "(default: current directory)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", dest="fmt",
+                        help="output format (default: text)")
+    parser.add_argument("--graph", action="store_true",
+                        help="print the module import graph (with layer "
+                             "tags and cycle verdict) instead of findings")
+    parser.add_argument("--cache", metavar="FILE", type=Path,
+                        default=Path(DEFAULT_CACHE),
+                        help=f"incremental result cache "
+                             f"(default: {DEFAULT_CACHE})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental cache")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("-q", "--quiet", action="store_true",
@@ -47,7 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _print_rules() -> None:
     for rule in all_rules():
-        print(f"{rule.code}  {rule.name}")
+        scope = " (cross-file)" if rule.scope == "project" else ""
+        print(f"{rule.code}  {rule.name}{scope}")
         print(f"        {rule.summary}")
 
 
@@ -59,9 +85,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     select = ([code.strip() for code in args.select.split(",") if code.strip()]
               if args.select else None)
+    cache = None if args.no_cache else args.cache
     try:
         result = run(args.paths, select=select, baseline=args.baseline,
-                     root=args.root)
+                     root=args.root, cache=cache)
     except ReproError as exc:
         print(f"repro.lint: error: {exc}", file=sys.stderr)
         return 2
@@ -75,12 +102,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {count} baseline entries to {args.write_baseline}")
         return 0
 
+    if args.graph:
+        if result.index is None:
+            print("repro.lint: error: --graph needs at least one "
+                  "cross-file rule selected", file=sys.stderr)
+            return 2
+        print(render_module_graph(result.index))
+        return 0 if result.ok else 1
+
+    if args.fmt == "json":
+        print(findings_to_json(result.findings, result.baselined,
+                               files_checked=result.files_checked,
+                               files_reused=result.files_reused))
+        return 0 if result.ok else 1
+    if args.fmt == "sarif":
+        print(findings_to_sarif(result.findings, result.baselined))
+        return 0 if result.ok else 1
+
     if not args.quiet:
         for finding in result.findings:
             print(finding.format())
     status = "clean" if result.ok else f"{len(result.findings)} finding(s)"
     suffix = (f", {len(result.baselined)} baselined"
               if result.baselined else "")
+    if result.files_reused:
+        suffix += f", {result.files_reused} cached"
     print(f"repro.lint: {status} in {result.files_checked} file(s){suffix}")
     return 0 if result.ok else 1
 

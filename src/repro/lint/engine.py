@@ -1,14 +1,24 @@
 """Lint engine: discover files, parse, dispatch rules, filter findings.
 
-The pipeline per file is::
+The pipeline is two-phase.  Per file::
 
-    read -> parse (RPR000 on SyntaxError) -> run selected rules
-         -> drop `# repro: noqa` suppressed lines
-         -> split remaining findings against the baseline
+    read -> cache lookup (content hash) -> parse (RPR000 on SyntaxError)
+         -> run single-file rules -> drop `# repro: noqa` suppressed
+         -> extract FileFacts for the project index
+
+then once per run::
+
+    ProjectIndex(all facts) -> cross-file rules (RPR009+)
+         -> drop suppressed -> split everything against the baseline
 
 :func:`run` is the single entry point used by both the CLI and the CI
-gate test; :func:`lint_text` lints an in-memory snippet, which keeps the
-rule test fixtures free of temp files.
+gate test; :func:`lint_text` lints an in-memory snippet and
+:func:`lint_sources` a dict of snippets (a whole miniature project),
+which keeps the rule test fixtures free of temp files.
+
+When :mod:`repro.obs` is enabled the run reports itself: one
+``lint.run`` span plus ``lint.files.*`` / ``lint.findings.*`` counters,
+so the analyzer shows up in obs snapshots like any other subsystem.
 """
 
 from __future__ import annotations
@@ -16,16 +26,25 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
-from typing import Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (Dict, Iterable, Iterator, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
+
+import repro.obs as obs
 
 from ..errors import ConfigError
 from .baseline import load_baseline, matches_baseline
+from .cache import LintCache, content_key
 from .findings import Finding
+from .index import FileFacts, ProjectIndex, extract_facts
 from .noqa import NoqaDirectives
-from .rules import Rule, all_rules, get_rule
+from .rules import SCOPE_FILE, SCOPE_PROJECT, Rule, all_rules, get_rule
+
+# Importing xrules registers RPR009..RPR012 with the shared registry.
+from . import xrules  # noqa: F401  (import-for-side-effect)
 
 __all__ = ["LintResult", "ModuleContext", "iter_python_files",
-           "lint_file", "lint_text", "module_name_for", "run"]
+           "lint_file", "lint_sources", "lint_text", "module_name_for",
+           "run"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +65,9 @@ class LintResult:
     findings: List[Finding] = field(default_factory=list)     #: actionable
     baselined: List[Finding] = field(default_factory=list)    #: grandfathered
     files_checked: int = 0
+    files_reused: int = 0         #: served from the incremental cache
+    #: The whole-program index (None when no project rule ran).
+    index: Optional[ProjectIndex] = None
 
     @property
     def ok(self) -> bool:
@@ -79,6 +101,8 @@ def iter_python_files(paths: Iterable["Path | str"]) -> Iterator[Path]:
             yield from sorted(q for q in p.rglob("*.py") if q.is_file())
         elif p.suffix == ".py" and p.is_file():
             yield p
+        elif not p.exists():
+            raise ConfigError(f"lint target {p} does not exist")
         else:
             raise ConfigError(f"lint target {p} is neither a .py file "
                               f"nor a directory")
@@ -90,30 +114,100 @@ def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
     return [get_rule(code) for code in select]
 
 
-def _apply_rules(ctx: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
+def _split_rules(rules: Sequence[Rule]) -> Tuple[List[Rule], List[Rule]]:
+    return ([r for r in rules if r.scope == SCOPE_FILE],
+            [r for r in rules if r.scope == SCOPE_PROJECT])
+
+
+def _lint_module(ctx: ModuleContext, file_rules: Sequence[Rule]
+                 ) -> Tuple[List[Finding], FileFacts]:
+    """Single-file findings (noqa-filtered) plus extracted facts."""
     findings: List[Finding] = []
-    for rule in rules:
+    for rule in file_rules:
         findings.extend(rule.func(ctx))
     noqa = NoqaDirectives(list(ctx.lines))
     if len(noqa):
         findings = [f for f in findings
                     if not noqa.is_suppressed(f.line, f.code)]
-    return sorted(findings)
+    facts = extract_facts(ctx, noqa_map=noqa.as_map())
+    return sorted(findings), facts
+
+
+def _parse_error_result(display: str, module: Optional[str],
+                        exc: SyntaxError
+                        ) -> Tuple[List[Finding], FileFacts]:
+    finding = Finding(display, exc.lineno or 1, "RPR000",
+                      f"could not parse: {exc.msg}")
+    return [finding], FileFacts(path=display, module=module)
+
+
+def _project_findings(facts: Sequence[FileFacts],
+                      project_rules: Sequence[Rule]
+                      ) -> Tuple[List[Finding], Optional[ProjectIndex]]:
+    """Run cross-file rules once, honoring per-file noqa directives."""
+    if not project_rules:
+        return [], None
+    index = ProjectIndex(facts)
+    noqa_by_path: Dict[str, Mapping[int, Sequence[str]]] = {
+        f.path: f.noqa for f in facts}
+    findings: List[Finding] = []
+    for rule in project_rules:
+        for finding in rule.func(index):
+            suppressed = noqa_by_path.get(finding.path, {}).get(
+                finding.line, ())
+            if "*" in suppressed or finding.code in suppressed:
+                continue
+            findings.append(finding)
+    return sorted(findings), index
 
 
 def lint_text(source: str, path: str = "<snippet>",
               module: Optional[str] = "snippet",
               select: Optional[Sequence[str]] = None,
               is_package: bool = False) -> List[Finding]:
-    """Lint an in-memory *source* snippet (used heavily by the tests)."""
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [Finding(path, exc.lineno or 1, "RPR000",
-                        f"could not parse: {exc.msg}")]
-    ctx = ModuleContext(path=path, module=module, tree=tree,
-                        lines=source.splitlines(), is_package=is_package)
-    return _apply_rules(ctx, _select_rules(select))
+    """Lint an in-memory *source* snippet (used heavily by the tests).
+
+    Cross-file rules run too, over a one-module project index, so
+    single-file fixtures can exercise RPR009+ as well.
+    """
+    return lint_sources({path: source}, select=select,
+                        modules={path: module},
+                        packages={path} if is_package else ())
+
+
+def lint_sources(sources: Mapping[str, str],
+                 select: Optional[Sequence[str]] = None,
+                 modules: Optional[Mapping[str, Optional[str]]] = None,
+                 packages: Iterable[str] = ()) -> List[Finding]:
+    """Lint a ``{path: source}`` mapping as one miniature project.
+
+    Module names are taken from *modules* when given, else derived from
+    the path (anchored at a ``repro`` component, mirroring
+    :func:`module_name_for`), so cross-file fixtures like
+    ``{"src/repro/engine/events.py": ..., "src/repro/core/x.py": ...}``
+    behave exactly like the real tree.
+    """
+    file_rules, project_rules = _split_rules(_select_rules(select))
+    findings: List[Finding] = []
+    all_facts: List[FileFacts] = []
+    for path in sorted(sources):
+        source = sources[path]
+        module = (modules or {}).get(
+            path, module_name_for(Path(path)))
+        is_package = path in set(packages) or path.endswith("__init__.py")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            file_findings, facts = _parse_error_result(path, module, exc)
+        else:
+            ctx = ModuleContext(path=path, module=module, tree=tree,
+                                lines=source.splitlines(),
+                                is_package=is_package)
+            file_findings, facts = _lint_module(ctx, file_rules)
+        findings.extend(file_findings)
+        all_facts.append(facts)
+    project, _index = _project_findings(all_facts, project_rules)
+    return sorted(findings + project)
 
 
 def _display_path(path: Path, root: Optional[Path]) -> str:
@@ -139,23 +233,78 @@ def lint_file(path: "Path | str", root: "Path | str | None" = None,
 def run(paths: Iterable["Path | str"],
         select: Optional[Sequence[str]] = None,
         baseline: "Path | str | None" = None,
-        root: "Path | str | None" = None) -> LintResult:
+        root: "Path | str | None" = None,
+        cache: "Path | str | None" = None) -> LintResult:
     """Lint *paths* and split findings against the optional *baseline*.
 
     Paths in findings are made relative to *root* (default: the current
     working directory), which is also what baseline entries match on.
+    With *cache* set, unchanged files (by content hash, salted with the
+    rule configuration) skip parsing and the per-file rule pass.
     """
     anchor = Path(root) if root is not None else Path.cwd()
+    file_rules, project_rules = _split_rules(_select_rules(select))
     baseline_keys: Set[str] = (load_baseline(baseline)
                                if baseline is not None else set())
+    store = LintCache(cache) if cache is not None else None
     result = LintResult()
-    for file_path in iter_python_files(paths):
-        result.files_checked += 1
-        for finding in lint_file(file_path, root=anchor, select=select):
+
+    files = list(iter_python_files(paths))
+    if not files:
+        raise ConfigError(
+            "no Python files found under: "
+            + ", ".join(str(p) for p in paths)
+            + " (nothing to lint)")
+
+    with obs.span("lint.run", layer="lint", files=len(files)):
+        all_findings: List[Finding] = []
+        all_facts: List[FileFacts] = []
+        for file_path in files:
+            result.files_checked += 1
+            display = _display_path(file_path, anchor)
+            source = file_path.read_text(encoding="utf-8")
+            key = content_key(source, select)
+            cached = store.get(display, key) if store is not None else None
+            if cached is not None:
+                file_findings, facts = cached
+                result.files_reused += 1
+            else:
+                try:
+                    tree = ast.parse(source)
+                except SyntaxError as exc:
+                    file_findings, facts = _parse_error_result(
+                        display, module_name_for(file_path), exc)
+                else:
+                    ctx = ModuleContext(
+                        path=display, module=module_name_for(file_path),
+                        tree=tree, lines=source.splitlines(),
+                        is_package=file_path.name == "__init__.py")
+                    file_findings, facts = _lint_module(ctx, file_rules)
+                if store is not None:
+                    store.put(display, key, file_findings, facts)
+            all_findings.extend(file_findings)
+            all_facts.append(facts)
+
+        project, index = _project_findings(all_facts, project_rules)
+        all_findings.extend(project)
+        result.index = index
+
+        for finding in all_findings:
             if baseline_keys and matches_baseline(baseline_keys, finding):
                 result.baselined.append(finding)
             else:
                 result.findings.append(finding)
-    result.findings.sort()
-    result.baselined.sort()
+        result.findings.sort()
+        result.baselined.sort()
+
+        if store is not None:
+            store.prune([_display_path(p, anchor) for p in files])
+            store.save()
+
+        obs.inc("lint.files.scanned", result.files_checked)
+        obs.inc("lint.files.reused", result.files_reused)
+        for finding in result.findings:
+            obs.inc(f"lint.findings.{finding.code}")
+        for finding in result.baselined:
+            obs.inc(f"lint.baselined.{finding.code}")
     return result

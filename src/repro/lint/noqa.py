@@ -57,5 +57,15 @@ class NoqaDirectives:
             return False
         return codes is ALL_CODES or code in codes
 
+    def as_map(self) -> Dict[int, List[str]]:
+        """Plain ``{line: [codes]}`` view (``"*"`` = every code).
+
+        This is the serializable shape carried in
+        :class:`~repro.lint.index.FileFacts`, so cross-file findings on
+        cache-hit files still honor their suppressions.
+        """
+        return {line: sorted(codes)
+                for line, codes in self._by_line.items()}
+
     def __len__(self) -> int:
         return len(self._by_line)

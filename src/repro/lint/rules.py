@@ -19,11 +19,23 @@ RPR008    obs-confinement             wall-clock profiling
                                       (``time.perf_counter`` family) only
                                       inside ``repro.obs``, and ``repro.obs``
                                       imports only units/errors/simclock
+RPR009    shard-unsafe-global         no runtime-mutated module-level state
+                                      outside the allowlisted registries
+RPR010    unordered-iteration         no unsorted iteration over sets (or
+                                      mutable-global dict views)
+RPR011    seedtree-label-collision    SeedTree stream labels are unique
+                                      across the whole tree
+RPR012    event-exhaustiveness        every engine event class is registered,
+                                      payload-complete, and handled or
+                                      explicitly ignored by each observer
 ========  ==========================  =============================================
 
-Each rule is a plain function ``(ModuleContext) -> Iterable[Finding]``
-registered with the :func:`rule` decorator, so adding an invariant is a
-one-function change.
+Each single-file rule is a plain function ``(ModuleContext) ->
+Iterable[Finding]`` registered with the :func:`rule` decorator.
+Whole-program rules (RPR009+, in :mod:`repro.lint.xrules`) take a
+:class:`~repro.lint.index.ProjectIndex` instead and register with
+:func:`cross_file_rule`; the engine runs them once per lint run, after
+the per-file pass.
 """
 
 from __future__ import annotations
@@ -37,14 +49,22 @@ from .findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .engine import ModuleContext
+    from .index import ProjectIndex
 
-__all__ = ["LAYERS", "Rule", "all_rules", "get_rule", "rule"]
+__all__ = ["LAYERS", "Rule", "SCOPE_FILE", "SCOPE_PROJECT", "all_rules",
+           "cross_file_rule", "get_rule", "rule"]
 
 RuleFunc = Callable[["ModuleContext"], Iterable[Finding]]
+CrossFileRuleFunc = Callable[["ProjectIndex"], Iterable[Finding]]
 
 #: Lowest layer first.  A module may import its own layer and lower
 #: layers; importing a *higher* layer is a violation (RPR004).
 LAYERS: Tuple[str, ...] = ("netsim", "cloud", "tools", "core", "experiments")
+
+#: Rule scopes: per-file rules see one :class:`ModuleContext`;
+#: project rules see the whole :class:`~repro.lint.index.ProjectIndex`.
+SCOPE_FILE = "file"
+SCOPE_PROJECT = "project"
 
 
 @dataclass(frozen=True)
@@ -54,19 +74,41 @@ class Rule:
     code: str
     name: str
     summary: str
-    func: RuleFunc
+    func: Callable[..., Iterable[Finding]]
+    scope: str = SCOPE_FILE
 
 
+# RPR009 carve-out: the rule registry is the canonical allowlisted
+# registry - populated once at import time by the decorators below and
+# only read afterwards (see _SHARD_SAFE_GLOBALS in xrules.py).
 _REGISTRY: Dict[str, Rule] = {}
 
 
 def rule(code: str, name: str, summary: str) -> Callable[[RuleFunc], RuleFunc]:
-    """Register an invariant rule under *code*."""
+    """Register a single-file invariant rule under *code*."""
 
     def decorate(func: RuleFunc) -> RuleFunc:
         if code in _REGISTRY:
             raise ConfigError(f"duplicate rule code {code}")
-        _REGISTRY[code] = Rule(code, name, summary, func)
+        _REGISTRY[code] = Rule(code, name, summary, func, SCOPE_FILE)
+        return func
+
+    return decorate
+
+
+def cross_file_rule(code: str, name: str, summary: str
+                    ) -> Callable[[CrossFileRuleFunc], CrossFileRuleFunc]:
+    """Register a whole-program invariant rule under *code*.
+
+    The decorated function receives the
+    :class:`~repro.lint.index.ProjectIndex` of the entire lint target
+    and runs exactly once per lint run, after the per-file pass.
+    """
+
+    def decorate(func: CrossFileRuleFunc) -> CrossFileRuleFunc:
+        if code in _REGISTRY:
+            raise ConfigError(f"duplicate rule code {code}")
+        _REGISTRY[code] = Rule(code, name, summary, func, SCOPE_PROJECT)
         return func
 
     return decorate
@@ -309,7 +351,12 @@ def _imported_modules(ctx: "ModuleContext") -> Iterator[Tuple[int, str]]:
                 base = _resolve_relative(ctx, node)
             if base is None:
                 continue
-            yield node.lineno, base
+            # ``from . import x`` depends on the sibling submodule, not
+            # on the importer's own parent package - yielding the bare
+            # package there would make every such import a pseudo-cycle
+            # with the package __init__.
+            if node.module is not None or node.level == 0:
+                yield node.lineno, base
             # ``from repro import core`` binds a submodule: also consider
             # each imported name as a module path one level deeper.
             for name in node.names:
