@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint lint-graph test golden
+.PHONY: check lint lint-graph test golden bench-shard
 
 check:
 	$(PYTHON) scripts/check.py
@@ -21,3 +21,7 @@ test:
 
 golden:
 	$(PYTHON) scripts/regen_golden.py
+
+# Regenerate BENCH_campaign.json (the shards x batch perf trajectory).
+bench-shard:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -p no:cacheprovider benchmarks/bench_shard_scale.py

@@ -1,14 +1,22 @@
 #!/usr/bin/env python
 """One-stop verification: lint, a SARIF smoke, the tests, a bench smoke.
 
-This is what ``make check`` runs.  Coverage enforcement for
-``repro.faults``, ``repro.engine``, and ``repro.obs`` (configured in
-pyproject.toml, >=90% lines) activates automatically when pytest-cov
-is installed; without it the suite still runs, just without the
-coverage gate, so the check works in minimal environments.  The bench
-smoke runs the observability-overhead benchmark at a tiny scale to
-catch instrumentation cost regressions without the full bench
-harness.
+This is what ``make check`` runs.  After the full lint pass, the
+cross-file shard-safety rules (RPR009-RPR012) run once more as a
+focused ``--select`` step: that exercises RPR009's allowlist-liveness
+check against the :mod:`repro.shard` module in isolation, so a stale
+shared-state allowlist entry fails the build even if some other rule's
+cache masked it.  The shard-equivalence suite (``tests/test_shard.py``,
+byte-identical digests across shards x batch) then gates the run
+before the full test suite.
+
+Coverage enforcement for ``repro.faults``, ``repro.engine``,
+``repro.obs``, and ``repro.shard`` (configured in pyproject.toml,
+>=90% lines) activates automatically when pytest-cov is installed;
+without it the suite still runs, just without the coverage gate, so
+the check works in minimal environments.  The bench smoke runs the
+observability-overhead benchmark at a tiny scale to catch
+instrumentation cost regressions without the full bench harness.
 """
 
 from __future__ import annotations
@@ -62,13 +70,24 @@ def main() -> int:
     if status != 0:
         return status
 
+    status = _run("shard-safety lint", [
+        sys.executable, "-m", "repro.lint", str(SRC / "repro"),
+        "--select", "RPR009,RPR010,RPR011,RPR012", "--no-cache"])
+    if status != 0:
+        return status
+
+    status = _run("shard equivalence gate", [
+        sys.executable, "-m", "pytest", "-q", "-x", "tests/test_shard.py"])
+    if status != 0:
+        return status
+
     pytest_argv = [sys.executable, "-m", "pytest", "-q"]
     if importlib.util.find_spec("pytest_cov") is not None:
         pytest_argv += ["--cov", "--cov-fail-under=90"]
     else:
         print("== note: pytest-cov not installed; skipping the "
-              "repro.faults / repro.engine / repro.obs coverage gate",
-              flush=True)
+              "repro.faults / repro.engine / repro.obs / repro.shard "
+              "coverage gate", flush=True)
     status = _run("tests", pytest_argv)
     if status != 0:
         return status

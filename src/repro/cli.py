@@ -90,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--metrics", action="store_true",
                         help="print engine event counts and billing "
                              "totals after the campaign")
+    p_camp.add_argument("--shards", type=int, default=1,
+                        help="partition lanes across N sharded "
+                             "executors (byte-identical dataset)")
+    p_camp.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="vectorize each hour's tests as numpy "
+                             "batches (byte-identical dataset)")
+    p_camp.add_argument("--shard-processes", action="store_true",
+                        help="run each shard in a forked worker process")
     profile_opt(p_camp)
     common(p_camp)
 
@@ -226,7 +235,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             observers.append(trace)
         try:
             dataset = clasp.run_campaign([plan], days=args.days,
-                                         observers=observers)
+                                         observers=observers,
+                                         shards=args.shards,
+                                         batch=args.batch,
+                                         shard_processes=args.shard_processes)
         finally:
             if trace is not None:
                 trace.close()
@@ -239,6 +251,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                       title=f"{args.region}: {args.days}-day campaign "
                             f"(faults={args.faults})")
     table.add_row(["servers measured", len(plan.server_ids)])
+    if args.shards > 1 or args.batch or args.shard_processes:
+        table.add_row(["execution",
+                       f"shards={args.shards} "
+                       f"batch={'on' if args.batch else 'off'}"
+                       + (" processes" if args.shard_processes else "")])
     table.add_row(["tests completed", dataset.completed_tests])
     table.add_row(["tests failed", dataset.failed_tests])
     table.add_row(["tests retried", dataset.retried_tests])

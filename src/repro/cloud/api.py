@@ -114,13 +114,23 @@ class CloudPlatform:
     def create_vm(self, region_name: str, machine_type: str,
                   tier: NetworkTier, ts: float,
                   zone_suffix: Optional[str] = None,
-                  name: Optional[str] = None) -> VirtualMachine:
-        """Provision a VM and attach it to the region's PoP."""
+                  name: Optional[str] = None,
+                  inherit_attachment_from: Optional[VirtualMachine] = None
+                  ) -> VirtualMachine:
+        """Provision a VM and attach it to the region's PoP.
+
+        *inherit_attachment_from* re-provisions onto a stopped VM's
+        physical slot: the new VM reuses that VM's zone, host node, IP,
+        and LAN attach link instead of allocating fresh ones.  This is
+        how replacements stay deterministic regardless of the order in
+        which failures are recovered (topology ids never depend on the
+        recovery schedule), and it keeps the route cache valid as-is.
+        """
         with obs.span("cloud.create_vm", layer="cloud", sim_ts=ts,
                       region=region_name, machine_type=machine_type,
                       tier=tier.value) as sp:
             vm = self._create_vm(region_name, machine_type, tier, ts,
-                                 zone_suffix, name)
+                                 zone_suffix, name, inherit_attachment_from)
             sp.annotate(vm=vm.name)
         obs.inc("cloud.vms_created")
         return vm
@@ -128,7 +138,8 @@ class CloudPlatform:
     def _create_vm(self, region_name: str, machine_type: str,
                    tier: NetworkTier, ts: float,
                    zone_suffix: Optional[str],
-                   name: Optional[str]) -> VirtualMachine:
+                   name: Optional[str],
+                   donor: Optional[VirtualMachine] = None) -> VirtualMachine:
         region = region_by_name(region_name)
         running = [v for v in self._vms.values()
                    if v.region_name == region_name and v.is_running]
@@ -137,25 +148,42 @@ class CloudPlatform:
                 f"region {region_name} is at its quota of "
                 f"{self._vm_quota} running VMs")
         mtype = machine_type_by_name(machine_type)
-        if zone_suffix is None:
-            # Spread across zones round-robin, like the paper's
-            # availability-zone load balancing.
-            suffix = region.zone_suffixes[len(running) % len(region.zone_suffixes)]
+        if donor is not None:
+            if donor.is_running:
+                raise CloudError(
+                    f"cannot inherit the attachment of running VM "
+                    f"{donor.name!r}")
+            if donor.region_name != region_name:
+                raise CloudError(
+                    f"attachment donor {donor.name!r} is in "
+                    f"{donor.region_name}, not {region_name}")
+            zone = donor.zone
+            # Fresh NIC object (shapers are per-VM state) on the same
+            # physical attachment: host node, IP, and LAN link.
+            nic = NetworkInterface(ip=donor.nic.ip,
+                                   host_pop_id=donor.nic.host_pop_id,
+                                   attach_link_id=donor.nic.attach_link_id)
         else:
-            suffix = zone_suffix
-        zone = region.zone(suffix)
+            if zone_suffix is None:
+                # Spread across zones round-robin, like the paper's
+                # availability-zone load balancing.
+                suffix = region.zone_suffixes[
+                    len(running) % len(region.zone_suffixes)]
+            else:
+                suffix = zone_suffix
+            zone = region.zone(suffix)
 
-        attach_pop = self.region_pop(region_name)
-        alloc = self.internet.infra_allocators[self.cloud_asn]
-        vm_ip = alloc.allocate_host()
-        host = self.topology.add_host(self.cloud_asn, attach_pop.pop_id,
-                                      vm_ip, capacity_mbps=gbps(10.0),
-                                      delay_ms=0.05)
-        # Cached intra-AS tables predate the new leaf node.
-        self.router.invalidate_intra_cache(self.cloud_asn)
-        attach_link = self.topology.links_of_pop(host.pop_id)[0]
-        nic = NetworkInterface(ip=vm_ip, host_pop_id=host.pop_id,
-                               attach_link_id=attach_link.link_id)
+            attach_pop = self.region_pop(region_name)
+            alloc = self.internet.infra_allocators[self.cloud_asn]
+            vm_ip = alloc.allocate_host()
+            host = self.topology.add_host(self.cloud_asn, attach_pop.pop_id,
+                                          vm_ip, capacity_mbps=gbps(10.0),
+                                          delay_ms=0.05)
+            # Cached intra-AS tables predate the new leaf node.
+            self.router.invalidate_intra_cache(self.cloud_asn)
+            attach_link = self.topology.links_of_pop(host.pop_id)[0]
+            nic = NetworkInterface(ip=vm_ip, host_pop_id=host.pop_id,
+                                   attach_link_id=attach_link.link_id)
         vm_name = name or f"clasp-{region_name}-{next(self._vm_counter):03d}"
         if vm_name in self._vms:
             raise CloudError(f"VM name {vm_name!r} already in use")

@@ -64,6 +64,20 @@ class StorageBucket:
                 raise TransientUploadError(
                     f"upload of {key!r} to bucket {self.name} failed "
                     f"(attempt {attempt + 1})")
+        return self.put(key, size_bytes, ts, content_kind)
+
+    def put(self, key: str, size_bytes: int, ts: float,
+            content_kind: str = "raw") -> StorageObject:
+        """Store object metadata unconditionally (no fault hook).
+
+        This is the settled-state write: shard replay uses it to apply
+        uploads that already succeeded inside a worker, where the fault
+        decision (and its per-key attempt accounting) was made.
+        """
+        if not key:
+            raise StorageError("object key cannot be empty")
+        if size_bytes < 0:
+            raise StorageError(f"object size must be >= 0: {size_bytes}")
         obj = StorageObject(key, int(size_bytes), ts, content_kind)
         self._objects[key] = obj
         return obj

@@ -6,7 +6,7 @@ lives in :class:`repro.engine.lanes.CampaignEngine`: the runner builds
 one execution :class:`~repro.engine.lanes.Lane` per (plan, VM)
 assignment, wires a :class:`~repro.engine.bus.EventBus` with the
 dataset/billing observers (plus any caller-supplied ones), and plugs
-in the :class:`_LaneExecutor` that knows how to run one lane-hour -
+in the :class:`LaneExecutor` that knows how to run one lane-hour -
 tests, retries, artefact uploads, and preemption recovery all surface
 as typed :mod:`repro.engine.events` rather than inline mutation.
 
@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,7 +51,8 @@ from .records import LostRecord, MeasurementRecord, ServerMeta
 from .scheduler import HourlySchedule, TestSlot
 from .tsdb import Table, TimeSeriesDB
 
-__all__ = ["CampaignConfig", "CampaignDataset", "CampaignRunner"]
+__all__ = ["BillingObserver", "CampaignConfig", "CampaignDataset",
+           "CampaignRunner", "LaneExecutor"]
 
 _FIELDS = ("download", "upload", "latency", "loss_down", "loss_up")
 _TAGS = ("region", "server_id", "tier")
@@ -167,7 +168,7 @@ class CampaignDataset:
         return len(self.table)
 
 
-class _BillingObserver:
+class BillingObserver:
     """Accrues campaign charges from events, publishing what each cost.
 
     Per-hour charges (VM uptime, the monthly storage sweep) settle at
@@ -224,13 +225,18 @@ class _BillingObserver:
             self._last_storage_charge = hour_start
 
 
-class _LaneExecutor:
+class LaneExecutor:
     """Runs one lane-hour and publishes everything that happened.
 
     This is the :class:`~repro.engine.lanes.LaneStepper` the runner
     plugs into the engine.  It owns no state of its own - lane state
     lives on the :class:`~repro.engine.lanes.Lane`, campaign plumbing
     on the runner - which is what keeps lanes independently steppable.
+
+    The three protected seams - :meth:`_hour_slots`,
+    :meth:`_run_slot_test`, and :meth:`_bucket_for` - are where
+    :mod:`repro.shard` plugs in vectorized pre-computation and
+    shard-local storage without changing the event protocol.
     """
 
     def __init__(self, runner: "CampaignRunner", bus: EventBus) -> None:
@@ -238,12 +244,29 @@ class _LaneExecutor:
         self.bus = bus
 
     # ------------------------------------------------------------------
+    # seams
+
+    def _hour_slots(self, lane: Lane, hour_start: float) -> Sequence[TestSlot]:
+        """Draw (or fetch the pre-drawn) slots for one lane-hour."""
+        return lane.schedule.hour_slots(hour_start)
+
+    def _run_slot_test(self, lane: Lane, slot: TestSlot):
+        """Run one scheduled test; raises SpeedTestError on loss."""
+        runner = self.runner
+        return runner.browser.run_test(
+            lane.vm, runner.catalog.get(slot.server_id), slot.ts)
+
+    def _bucket_for(self, lane: Lane):
+        """The bucket this lane's artefacts upload to."""
+        return lane.plan.bucket
+
+    # ------------------------------------------------------------------
 
     def step(self, lane: Lane, hour_start: float) -> None:
         # The slot draw happens every hour regardless of VM health so
         # the schedule stream stays aligned between fault-free and
         # faulty runs of the same seed.
-        slots = lane.schedule.hour_slots(hour_start)
+        slots = self._hour_slots(lane, hour_start)
         injector = self.runner.injector
         if injector is not None:
             if hour_start < lane.ready_ts:
@@ -300,12 +323,10 @@ class _LaneExecutor:
     def _run_hour(self, lane: Lane,
                   slots: Sequence[TestSlot]) -> int:
         """Run one VM-hour of tests; returns artefact bytes produced."""
-        runner = self.runner
         artefact_bytes = 0
         for slot in slots:
             try:
-                artefacts = runner.browser.run_test(
-                    lane.vm, runner.catalog.get(slot.server_id), slot.ts)
+                artefacts = self._run_slot_test(lane, slot)
             except SpeedTestError:
                 self.bus.emit(TestLost(ts=slot.ts, region=lane.region,
                                        vm_name=lane.vm.name,
@@ -347,11 +368,11 @@ class _LaneExecutor:
         if runner.injector is not None:
             attempts = runner.injector.plan.max_retries + 1
         key = f"{lane.vm.name}/{int(hour_start)}.tar.gz"
+        bucket = self._bucket_for(lane)
         ts = upload_ts
         for attempt in range(attempts):
             try:
-                lane.plan.bucket.upload(key=key, size_bytes=artefact_bytes,
-                                        ts=ts)
+                bucket.upload(key=key, size_bytes=artefact_bytes, ts=ts)
             except TransientUploadError:
                 self.bus.emit(UploadAttempted(
                     ts=ts, region=lane.region, vm_name=lane.vm.name,
@@ -418,9 +439,14 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
 
-    def _build_lanes(self, plans: Sequence[DeploymentPlan],
-                     start_ts: float) -> List[Lane]:
-        """One independent execution lane per (plan, VM) assignment."""
+    def build_lanes(self, plans: Sequence[DeploymentPlan],
+                    start_ts: float) -> List[Lane]:
+        """One independent execution lane per (plan, VM) assignment.
+
+        Public: the sharded executor partitions exactly these lanes, in
+        exactly this order, so lane indices agree between the inline
+        and sharded runs.
+        """
         lanes = []
         for plan in plans:
             for vm, server_ids in plan.assignments:
@@ -435,8 +461,8 @@ class CampaignRunner:
                     plan=plan))
         return lanes
 
-    def _register_metadata(self, dataset: CampaignDataset,
-                           plans: Sequence[DeploymentPlan]) -> None:
+    def register_metadata(self, dataset: CampaignDataset,
+                          plans: Sequence[DeploymentPlan]) -> None:
         topo = self.platform.topology
         for plan in plans:
             for server_id in plan.server_ids:
@@ -459,9 +485,35 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
 
+    def compose_bus(self, cfg: CampaignConfig, dataset: CampaignDataset,
+                    observers: Sequence[Any] = (),
+                    post_dataset: Sequence[Any] = ()) -> EventBus:
+        """The standard campaign bus: dataset observer, anything in
+        *post_dataset* (the shard replay inserts its upload-sync
+        observer here, ahead of billing), billing, the obs metrics
+        mirror, then caller *observers* - registration order is
+        dispatch order.
+        """
+        bus = EventBus()
+        bus.subscribe(DatasetObserver(dataset))
+        for observer in post_dataset:
+            bus.subscribe(observer)
+        if cfg.charge_billing:
+            bus.subscribe(BillingObserver(self.platform, cfg, bus))
+        if obs.enabled():
+            # Campaign events land in the same process-wide snapshot
+            # as the layer instrumentation (engine.* metric names).
+            bus.subscribe(MetricsObserver(registry=obs.registry()))
+        for observer in observers:
+            bus.subscribe(observer)
+        return bus
+
     def run(self, plans: Sequence[DeploymentPlan],
             config: Optional[CampaignConfig] = None,
-            observers: Sequence[Any] = ()) -> CampaignDataset:
+            observers: Sequence[Any] = (),
+            executor_factory: Optional[
+                Callable[["CampaignRunner", EventBus], Any]] = None
+            ) -> CampaignDataset:
         """Run the whole campaign and return the dataset.
 
         The body is pure composition: build the lanes, wire the bus
@@ -471,28 +523,29 @@ class CampaignRunner:
         run: lost hour slots are tagged in ``dataset.lost`` and
         preempted VMs are replaced in place (same server list, fresh
         name).
+
+        *executor_factory* swaps in an alternative
+        :class:`LaneExecutor` (the vectorized batch stepper); if the
+        produced stepper has an ``attach_engine`` method it is called
+        with the engine before the run, which is how the batch planner
+        installs its per-hour pre-computation hook.
         """
         cfg = config or CampaignConfig()
         dataset = CampaignDataset(cfg.start_ts, cfg.end_ts)
-        self._register_metadata(dataset, plans)
+        self.register_metadata(dataset, plans)
 
-        bus = EventBus()
-        bus.subscribe(DatasetObserver(dataset))
-        if cfg.charge_billing:
-            bus.subscribe(_BillingObserver(self.platform, cfg, bus))
-        if obs.enabled():
-            # Campaign events land in the same process-wide snapshot
-            # as the layer instrumentation (engine.* metric names).
-            bus.subscribe(MetricsObserver(registry=obs.registry()))
-        for observer in observers:
-            bus.subscribe(observer)
-
+        bus = self.compose_bus(cfg, dataset, observers)
+        stepper = (executor_factory(self, bus) if executor_factory is not None
+                   else LaneExecutor(self, bus))
         engine = CampaignEngine(
-            lanes=self._build_lanes(plans, cfg.start_ts),
-            stepper=_LaneExecutor(self, bus),
+            lanes=self.build_lanes(plans, cfg.start_ts),
+            stepper=stepper,
             bus=bus,
             start_ts=cfg.start_ts,
             n_hours=cfg.n_hours)
+        attach = getattr(stepper, "attach_engine", None)
+        if attach is not None:
+            attach(engine)
         with obs.span("campaign.run", layer="campaign",
                       sim_ts=cfg.start_ts, n_hours=cfg.n_hours,
                       n_lanes=len(engine.lanes)) as sp:

@@ -147,9 +147,11 @@ class Orchestrator:
         """Re-provision a preempted/terminated VM, preserving its servers.
 
         The replacement keeps the old VM's region, machine type, tier,
-        and ``tc`` shaping, and inherits the *exact* server list the
-        old VM measured, so longitudinal per-server coverage survives
-        a preemption.  Returns the new VM.
+        and ``tc`` shaping, inherits the old VM's physical attachment
+        (zone, host node, IP, and LAN link - so routing state stays
+        deterministic however recoveries interleave), and inherits the
+        *exact* server list the old VM measured, so longitudinal
+        per-server coverage survives a preemption.  Returns the new VM.
         """
         if old_vm.is_running:
             raise SchedulingError(
@@ -157,7 +159,8 @@ class Orchestrator:
                 f"terminate it before replacing")
         vm = self.platform.create_vm(
             old_vm.region_name, old_vm.machine_type.name, old_vm.tier, ts,
-            name=name or f"{old_vm.name}-r")
+            name=name or f"{old_vm.name}-r",
+            inherit_attachment_from=old_vm)
         vm.nic.apply_tc(ingress_mbps=DOWNLINK_CAP_MBPS,
                         egress_mbps=UPLINK_CAP_MBPS)
         for index, (candidate, ids) in enumerate(plan.assignments):

@@ -21,7 +21,7 @@ across workers without touching scheduling or analysis code.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Protocol, Sequence
+from typing import Any, Callable, List, Optional, Protocol, Sequence
 
 from ..errors import ValidationError
 from ..simclock import SimClock
@@ -68,7 +68,9 @@ class CampaignEngine:
     """Steps every lane through every hour, publishing events."""
 
     def __init__(self, lanes: Sequence[Lane], stepper: LaneStepper,
-                 bus: EventBus, start_ts: float, n_hours: int) -> None:
+                 bus: EventBus, start_ts: float, n_hours: int,
+                 hour_hook: Optional[Callable[[float, int], None]] = None
+                 ) -> None:
         if n_hours < 1:
             raise ValidationError(f"n_hours must be >= 1, got {n_hours}")
         if start_ts % HOUR != 0:
@@ -80,6 +82,12 @@ class CampaignEngine:
         self.start_ts = float(start_ts)
         self.n_hours = int(n_hours)
         self.clock = SimClock(self.start_ts)
+        #: Called as ``hook(hour_start, hour_index)`` after the
+        #: HourStarted event, before any lane steps.  The vectorized
+        #: batch planner uses it to pre-compute the whole hour's
+        #: transfers in one numpy pass; the engine itself stays
+        #: oblivious to what the hook does.
+        self.hour_hook = hour_hook
 
     @property
     def end_ts(self) -> float:
@@ -91,6 +99,8 @@ class CampaignEngine:
             hour_start = self.start_ts + hour_index * HOUR
             self.clock.advance_to(hour_start)
             self.bus.emit(HourStarted(ts=hour_start, hour_index=hour_index))
+            if self.hour_hook is not None:
+                self.hour_hook(hour_start, hour_index)
             for lane in self.lanes:
                 self.stepper.step(lane, hour_start)
         self.bus.emit(CampaignFinished(ts=self.end_ts,

@@ -105,6 +105,11 @@ class LinkStateEvaluator:
         """Install (or clear) a deterministic link-flap fault hook."""
         self._flap_hook = hook
 
+    @property
+    def flap_hook(self) -> Optional[FlapHook]:
+        """The installed flap hook (batch evaluators query it directly)."""
+        return self._flap_hook
+
     def observe(self, link: Link, direction: int, ts: float) -> LinkObservation:
         """Evaluate one link direction at simulated time *ts*."""
         u = self._util.utilization(link.link_id, direction, ts)
@@ -138,8 +143,10 @@ class LinkStateEvaluator:
         free = capacity_mbps * (1.0 - utilization)
         # Even on a saturated link, loss-based congestion control lets an
         # aggressive multi-flow test carve out a contested share that
-        # shrinks as overload deepens.
-        contested = capacity_mbps * _CONTESTED_SHARE / max(1.0, utilization) ** 2
+        # shrinks as overload deepens.  Written in multiplication form
+        # (not **) so the numpy batch path reproduces it bit-for-bit.
+        over = max(1.0, utilization)
+        contested = capacity_mbps * _CONTESTED_SHARE / (over * over)
         return max(free, contested)
 
     @staticmethod
@@ -148,7 +155,9 @@ class LinkStateEvaluator:
         if utilization < 0:
             raise ValidationError(f"utilization must be >= 0: {utilization}")
         floor = _FLOOR_LOSS[kind]
-        burst = _SUBONSET_COEF * utilization ** 4
+        # u^4 in multiplication form: bit-identical to the numpy twin.
+        u_sq = utilization * utilization
+        burst = _SUBONSET_COEF * (u_sq * u_sq)
         if utilization <= _LOSS_ONSET:
             return floor + burst
         if utilization <= 1.0:

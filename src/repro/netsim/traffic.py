@@ -191,6 +191,15 @@ class UtilizationModel:
             self._noise[key] = arr
         return arr
 
+    def noise_array(self, link_id: int, direction: int) -> np.ndarray:
+        """The full per-hour noise realisation of one link direction.
+
+        Exposed (read-only by convention) for the vectorized batch path,
+        which indexes many hours at once; mutating the returned array
+        would desynchronise scalar and batch evaluation.
+        """
+        return self._noise_array(link_id, direction)
+
     def utilization(self, link_id: int, direction: int, ts: float) -> float:
         """Background utilization fraction at *ts* (can exceed 1.0)."""
         profile = self.profile(link_id, direction)

@@ -1,0 +1,324 @@
+"""Region-sharded campaign execution with deterministic replay.
+
+:func:`run_sharded` splits the campaign's lanes across shards, runs
+each shard through its own :class:`~repro.engine.lanes.CampaignEngine`
+(scalar or vectorized stepper), merges the recorded per-shard event
+streams into the inline total order, and replays the merged stream
+through the standard observer stack.  The dataset, billing ledger, and
+digests that come out are byte-identical to the inline run - for any
+shard count, with or without the batch path - because:
+
+* every RNG stream is keyed by lane/VM/decision identity, never by
+  global call order, so a lane draws the same numbers in any shard;
+* fault decisions are cached by ``(kind, key, ts)`` and re-query
+  identically from any process;
+* all cross-lane float accumulation (dataset counters, billing sums,
+  metrics) happens in the single replay pass, in merged order.
+
+Shards write artefacts to shard-local *shadow buckets* (same name, so
+upload fault decisions key identically); the replay applies each
+successful upload to the real bucket via :class:`UploadSyncObserver`
+*before* the billing observer settles the hour, keeping the monthly
+storage sweep exact.
+
+Worker processes (``processes=True``) use the ``fork`` start method:
+each child inherits the pristine runner, runs its shard, and ships the
+stamped events (plus its obs metrics registry, merged into the parent
+via :meth:`MetricsRegistry.merge`) back over a pipe.  On a single
+core this buys isolation rather than speed; the vectorized batch path
+is where the throughput comes from.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..cloud.storage import StorageBucket
+from ..core.campaign import (CampaignConfig, CampaignDataset, CampaignRunner,
+                             LaneExecutor)
+from ..engine.bus import EventBus
+from ..engine.lanes import CampaignEngine, Lane
+from ..engine.observers import Observer
+from ..errors import ValidationError
+from .batch import BatchLaneExecutor
+from .merge import (RecordingStepper, ShardRecorder, StampedEvent,
+                    merge_streams, replay_events)
+
+__all__ = ["ShardBatchLaneExecutor", "ShardLaneExecutor", "ShardReport",
+           "UploadSyncObserver", "partition_lanes", "run_sharded"]
+
+
+def partition_lanes(lanes: Sequence[Lane],
+                    shards: int) -> List[List[Lane]]:
+    """Split lanes across at most *shards* workers, regions intact.
+
+    Regions are numbered in first-appearance order and dealt
+    round-robin, so when there are at least as many regions as shards
+    every region's lanes stay together (its replay-side billing and
+    storage interleavings then match the inline run trivially).  With
+    fewer regions than shards the split falls back to lane round-robin.
+    Empty shards are dropped; global lane order is preserved within
+    each shard.
+    """
+    if shards < 1:
+        raise ValidationError(f"shards must be >= 1, got {shards}")
+    regions: List[str] = []
+    for lane in lanes:
+        if lane.region not in regions:
+            regions.append(lane.region)
+    by_region = len(regions) >= shards
+    buckets: List[List[Lane]] = [[] for _ in range(shards)]
+    for gidx, lane in enumerate(lanes):
+        if by_region:
+            idx = regions.index(lane.region) % shards
+        else:
+            idx = gidx % shards
+        buckets[idx].append(lane)
+    return [bucket for bucket in buckets if bucket]
+
+
+class _ShadowStore:
+    """Per-shard stand-ins for the campaign's real storage buckets.
+
+    Shadows share the real bucket's name so the upload fault hook sees
+    the exact keys it would inline (decisions are keyed
+    ``bucket/key#attempt``); their contents stay shard-local and are
+    projected onto the real buckets during replay.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[str, StorageBucket] = {}
+
+    def shadow_of(self, real: StorageBucket) -> StorageBucket:
+        shadow = self._buckets.get(real.name)
+        if shadow is None:
+            shadow = StorageBucket(real.name, real.region_name,
+                                   fault_hook=real.fault_hook)
+            self._buckets[real.name] = shadow
+        return shadow
+
+
+class ShardLaneExecutor(LaneExecutor):
+    """The scalar lane stepper, uploading to shard-local buckets."""
+
+    def __init__(self, runner: CampaignRunner, bus: EventBus,
+                 shadows: _ShadowStore) -> None:
+        super().__init__(runner, bus)
+        self._shadows = shadows
+
+    def _bucket_for(self, lane: Lane) -> StorageBucket:
+        return self._shadows.shadow_of(super()._bucket_for(lane))
+
+
+class ShardBatchLaneExecutor(BatchLaneExecutor):
+    """The vectorized lane stepper, uploading to shard-local buckets."""
+
+    def __init__(self, runner: CampaignRunner, bus: EventBus,
+                 shadows: _ShadowStore) -> None:
+        super().__init__(runner, bus)
+        self._shadows = shadows
+
+    def _bucket_for(self, lane: Lane) -> StorageBucket:
+        return self._shadows.shadow_of(super()._bucket_for(lane))
+
+
+class UploadSyncObserver(Observer):
+    """Applies shard-decided uploads to the real buckets during replay.
+
+    Subscribed *before* the billing observer, so every object a shard
+    successfully uploaded is present in the real bucket by the time the
+    next ``hour-started`` event triggers the monthly storage sweep -
+    the same state the inline run would have had.  The write is
+    :meth:`StorageBucket.put` (no fault hook): the pass/fail decision
+    and its per-key attempt accounting already happened in the shard.
+
+    The vm-name -> bucket map seeds from the original lane VMs and
+    follows ``vm-replaced`` events, mirroring how the lane itself
+    re-targets uploads after a preemption replacement.
+    """
+
+    IGNORED_EVENTS: ClassVar[Tuple[str, ...]] = (
+        "billing-charged", "campaign-finished", "hour-started",
+        "test-completed", "test-lost", "test-retried", "vm-preempted")
+
+    def __init__(self, bucket_by_vm: Dict[str, StorageBucket]) -> None:
+        self._bucket_by_vm = dict(bucket_by_vm)
+
+    def on_vm_replaced(self, event: Any) -> None:
+        try:
+            self._bucket_by_vm[event.new_name] = (
+                self._bucket_by_vm[event.old_name])
+        except KeyError:
+            raise ValidationError(
+                f"vm-replaced for unknown VM {event.old_name!r}") from None
+
+    def on_upload_attempted(self, event: Any) -> None:
+        if not event.ok:
+            return
+        try:
+            bucket = self._bucket_by_vm[event.vm_name]
+        except KeyError:
+            raise ValidationError(
+                f"upload-attempted for unknown VM {event.vm_name!r}"
+            ) from None
+        bucket.put(event.key, event.size_bytes, event.ts)
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """What a sharded run did (for benchmarks and tests)."""
+
+    shards: int
+    batch: bool
+    processes: bool
+    lanes_per_shard: Tuple[int, ...]
+    events_per_shard: Tuple[int, ...]
+
+    @property
+    def n_events(self) -> int:
+        return sum(self.events_per_shard)
+
+
+# ----------------------------------------------------------------------
+# shard execution
+
+
+def _run_shard(runner: CampaignRunner, shard_lanes: Sequence[Lane],
+               cfg: CampaignConfig, lane_index: Dict[str, int],
+               batch: bool) -> List[StampedEvent]:
+    """Run one shard's lanes through a private engine; returns events."""
+    shadows = _ShadowStore()
+    bus = EventBus()
+    recorder = ShardRecorder()
+    bus.subscribe(recorder)
+    if batch:
+        stepper: LaneExecutor = ShardBatchLaneExecutor(runner, bus, shadows)
+    else:
+        stepper = ShardLaneExecutor(runner, bus, shadows)
+    wrapped = RecordingStepper(stepper, recorder, cfg.start_ts, lane_index)
+    engine = CampaignEngine(lanes=shard_lanes, stepper=wrapped, bus=bus,
+                            start_ts=cfg.start_ts, n_hours=cfg.n_hours)
+    wrapped.attach_engine(engine)
+    engine.run()
+    return recorder.events
+
+
+def _forked_shard_main(conn: Any, runner: CampaignRunner,
+                       shard_lanes: Sequence[Lane], cfg: CampaignConfig,
+                       lane_index: Dict[str, int], batch: bool) -> None:
+    """Worker-process entry point: run the shard, ship the results."""
+    try:
+        mirror_obs = obs.enabled()
+        if mirror_obs:
+            # Fresh registry: the fork inherited the parent's counters,
+            # which the parent still owns; this shard reports only what
+            # it did, and the parent merges the registries.
+            obs.enable()
+        events = _run_shard(runner, shard_lanes, cfg, lane_index, batch)
+        registry = obs.registry() if mirror_obs else None
+        conn.send({"events": events, "registry": registry, "error": None})
+    except BaseException as err:  # pragma: no cover - worker crash path
+        conn.send({"events": [], "registry": None, "error": repr(err)})
+        raise
+    finally:
+        conn.close()
+
+
+def _run_forked(runner: CampaignRunner, parts: Sequence[Sequence[Lane]],
+                cfg: CampaignConfig, lane_index: Dict[str, int],
+                batch: bool
+                ) -> Tuple[List[List[StampedEvent]], List[Any]]:
+    """Run every shard in a forked worker; returns (streams, registries).
+
+    ``fork`` is required (not ``spawn``): children must inherit the
+    fully wired runner - platform, catalog, injector caches, lane
+    objects - by memory image, because none of it is re-importable
+    state.  Results come back over one pipe per worker; stamped events
+    and metrics registries are plain picklable objects.
+    """
+    ctx = multiprocessing.get_context("fork")
+    procs = []
+    pipes = []
+    for shard_lanes in parts:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_forked_shard_main,
+                           args=(child_conn, runner, shard_lanes, cfg,
+                                 lane_index, batch))
+        proc.start()
+        child_conn.close()
+        procs.append(proc)
+        pipes.append(parent_conn)
+    streams: List[List[StampedEvent]] = []
+    registries: List[Any] = []
+    for i, (proc, conn) in enumerate(zip(procs, pipes)):
+        try:
+            payload = conn.recv()
+        except EOFError:  # pragma: no cover - worker crash path
+            proc.join()
+            raise ValidationError(
+                f"shard {i} worker died without reporting "
+                f"(exit code {proc.exitcode})") from None
+        finally:
+            conn.close()
+        proc.join()
+        if payload["error"] is not None:
+            raise ValidationError(
+                f"shard {i} worker failed: {payload['error']}")
+        streams.append(payload["events"])
+        registries.append(payload["registry"])
+    return streams, registries
+
+
+def run_sharded(runner: CampaignRunner, plans: Sequence[Any],
+                config: Optional[CampaignConfig] = None,
+                observers: Sequence[Any] = (), *,
+                shards: int = 1, batch: bool = False,
+                processes: bool = False
+                ) -> Tuple[CampaignDataset, ShardReport]:
+    """Run the campaign sharded; returns ``(dataset, report)``.
+
+    The dataset (and everything the replayed observers accumulate -
+    billing, metrics, caller observers) is byte-identical to
+    ``runner.run(plans, config, observers)`` for every combination of
+    *shards*, *batch*, and *processes*.
+    """
+    cfg = config or CampaignConfig()
+    lanes = runner.build_lanes(plans, cfg.start_ts)
+    if not lanes:
+        raise ValidationError("cannot shard a campaign with no lanes")
+    lane_index = {lane.name: i for i, lane in enumerate(lanes)}
+    # Captured before any shard runs: lane.vm mutates on replacement.
+    bucket_by_vm = {lane.name: lane.plan.bucket for lane in lanes}
+    parts = partition_lanes(lanes, shards)
+    with obs.span("shard.run_campaign", layer="shard", sim_ts=cfg.start_ts,
+                  shards=len(parts), batch=batch, processes=processes):
+        if processes and len(parts) > 1:
+            streams, registries = _run_forked(runner, parts, cfg,
+                                              lane_index, batch)
+            if obs.enabled():
+                for registry in registries:
+                    if registry is not None:
+                        obs.registry().merge(registry)
+        else:
+            streams = [_run_shard(runner, shard_lanes, cfg, lane_index,
+                                  batch)
+                       for shard_lanes in parts]
+        merged = merge_streams(streams)
+        obs.inc("shard.merged_events", float(len(merged)))
+
+        dataset = CampaignDataset(cfg.start_ts, cfg.end_ts)
+        runner.register_metadata(dataset, plans)
+        bus = runner.compose_bus(
+            cfg, dataset, observers,
+            post_dataset=(UploadSyncObserver(bucket_by_vm),))
+        replay_events(bus, merged, cfg.start_ts, cfg.n_hours)
+    report = ShardReport(
+        shards=len(parts),
+        batch=batch,
+        processes=processes and len(parts) > 1,
+        lanes_per_shard=tuple(len(part) for part in parts),
+        events_per_shard=tuple(len(stream) for stream in streams))
+    return dataset, report

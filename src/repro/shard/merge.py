@@ -1,0 +1,167 @@
+"""Deterministic merge of per-shard event streams.
+
+The campaign's observable behaviour is its event stream.  A sharded
+run produces one stream per worker; to feed the unchanged observer
+stack (dataset, billing, metrics, caller observers) it must present
+them as *the* stream - the exact sequence the inline single-process
+run would have emitted.
+
+That sequence is fully determined by a total order every event
+already carries implicitly:
+
+``(hour_index, lane_global_index, seq)``
+
+because the inline engine runs hour by hour, steps lanes in build
+order within the hour, and a lane-hour's events are emitted in step
+order.  :class:`RecordingStepper` stamps each event with that triple
+as it leaves the shard's stepper; :func:`merge_streams` k-way merges
+the (already sorted) shard streams on it; :func:`replay_events`
+re-emits the merged sequence with the engine's own ``hour-started`` /
+``campaign-finished`` framing synthesized around it.
+
+Ties are impossible by construction - each lane-hour lives in exactly
+one shard and ``seq`` increments per emitted event - so the merge
+treats a duplicate stamp as corruption and refuses it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..engine.bus import EventBus
+from ..engine.events import CampaignFinished, HourStarted
+from ..engine.lanes import Lane
+from ..errors import ValidationError
+from ..units import HOUR
+
+__all__ = ["RecordingStepper", "ShardRecorder", "StampedEvent",
+           "merge_streams", "replay_events"]
+
+#: Framing kinds the engine emits itself; the replay synthesizes them,
+#: so shard recorders drop them instead of stamping them.
+_FRAMING_KINDS = ("hour-started", "campaign-finished")
+
+
+@dataclass(frozen=True)
+class StampedEvent:
+    """One shard event plus its position in the inline total order."""
+
+    hour: int
+    lane: int
+    seq: int
+    event: Any
+
+    @property
+    def sort_key(self) -> Tuple[int, int, int]:
+        return (self.hour, self.lane, self.seq)
+
+
+class ShardRecorder:
+    """Bus subscriber that stamps and collects a shard's events.
+
+    ``begin_lane`` (called by :class:`RecordingStepper` before each
+    lane step) fixes the (hour, lane) coordinates; every event the
+    step emits gets the next ``seq`` under them.  Framing events are
+    dropped - and so is anything emitted outside a lane step, which
+    by construction is only framing.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[StampedEvent] = []
+        self._hour = 0
+        self._lane = 0
+        self._seq = 0
+        self._recording = False
+
+    def begin_lane(self, hour: int, lane: int) -> None:
+        self._hour = hour
+        self._lane = lane
+        self._seq = 0
+        self._recording = True
+
+    def on_event(self, event: Any) -> None:
+        if not self._recording or event.kind in _FRAMING_KINDS:
+            return
+        self.events.append(StampedEvent(hour=self._hour, lane=self._lane,
+                                        seq=self._seq, event=event))
+        self._seq += 1
+
+
+class RecordingStepper:
+    """Wraps a shard's stepper to coordinate the recorder.
+
+    Translates each ``step(lane, hour_start)`` into the lane's global
+    stamp coordinates before delegating, and forwards ``attach_engine``
+    so a batch stepper still gets its per-hour planning hook.
+    """
+
+    def __init__(self, inner: Any, recorder: ShardRecorder,
+                 start_ts: float, lane_index: Dict[str, int]) -> None:
+        self.inner = inner
+        self.recorder = recorder
+        self.start_ts = float(start_ts)
+        self.lane_index = dict(lane_index)
+
+    def attach_engine(self, engine: Any) -> None:
+        attach = getattr(self.inner, "attach_engine", None)
+        if attach is not None:
+            attach(engine)
+
+    def step(self, lane: Lane, hour_start: float) -> None:
+        hour = int((hour_start - self.start_ts) // HOUR)
+        self.recorder.begin_lane(hour, self.lane_index[lane.name])
+        self.inner.step(lane, hour_start)
+
+
+def merge_streams(streams: Sequence[Sequence[StampedEvent]]
+                  ) -> List[StampedEvent]:
+    """K-way merge of per-shard streams into the inline total order.
+
+    Each input stream must already be sorted (shard engines emit in
+    (hour, lane, seq) order naturally); the merged result must be
+    strictly increasing - equal stamps mean two shards ran the same
+    lane-hour, and an unsorted input means a recorder bug - and both
+    are rejected rather than silently reordered.
+    """
+    for i, stream in enumerate(streams):
+        for prev, cur in zip(stream, stream[1:]):
+            if not prev.sort_key < cur.sort_key:
+                raise ValidationError(
+                    f"shard stream {i} is not strictly ordered at "
+                    f"{prev.sort_key} -> {cur.sort_key}")
+    merged = list(heapq.merge(*streams, key=lambda s: s.sort_key))
+    for prev, cur in zip(merged, merged[1:]):
+        if prev.sort_key == cur.sort_key:
+            raise ValidationError(
+                f"duplicate event stamp {cur.sort_key} across shards; "
+                f"lane partitions overlap")
+    return merged
+
+
+def replay_events(bus: EventBus, events: Sequence[StampedEvent],
+                  start_ts: float, n_hours: int) -> None:
+    """Re-emit the merged stream with engine framing on *bus*.
+
+    Emits ``HourStarted`` for every campaign hour (observers settle
+    per-hour state on those boundaries even for empty hours), then the
+    hour's merged events in stamp order, and one ``CampaignFinished``
+    at the end - byte-for-byte the inline engine's framing.
+    """
+    if n_hours < 1:
+        raise ValidationError(f"n_hours must be >= 1, got {n_hours}")
+    i = 0
+    n = len(events)
+    for hour_index in range(n_hours):
+        hour_start = start_ts + hour_index * HOUR
+        bus.emit(HourStarted(ts=hour_start, hour_index=hour_index))
+        while i < n and events[i].hour == hour_index:
+            bus.emit(events[i].event)
+            i += 1
+    if i < n:
+        raise ValidationError(
+            f"merged stream has events stamped for hour {events[i].hour}, "
+            f"beyond the campaign's {n_hours} hours")
+    bus.emit(CampaignFinished(ts=start_ts + n_hours * HOUR,
+                              n_hours=n_hours))

@@ -19,7 +19,7 @@ so repeated tests scatter the way real web tests do.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -102,7 +102,15 @@ class SpeedTestResult:
 
 
 class SpeedTestEngine:
-    """Executes speed tests from cloud VMs against catalog servers."""
+    """Executes speed tests from cloud VMs against catalog servers.
+
+    Randomness is drawn from one lazily created stream *per VM name*
+    (label ``speedtest-<vm>``), so a VM's measurement-noise sequence
+    depends only on its own test history - never on how tests from
+    different VMs interleave.  That is what lets a sharded executor
+    run lanes in any partition and still reproduce the single-process
+    byte stream exactly.
+    """
 
     def __init__(self, platform: CloudPlatform,
                  config: Optional[SpeedTestConfig] = None,
@@ -110,8 +118,21 @@ class SpeedTestEngine:
                  injector: Optional[FaultInjector] = None) -> None:
         self.platform = platform
         self.config = config or SpeedTestConfig()
-        self._rng = (seeds or SeedTree(0)).generator("speedtest-engine")
+        self._seeds = seeds or SeedTree(0)
+        self._streams: Dict[str, np.random.Generator] = {}
         self.injector = injector
+
+    def stream_for(self, vm_name: str) -> np.random.Generator:
+        """The VM's private noise stream (created on first use).
+
+        Public because the vectorized batch planner consumes the same
+        stream, in the same order, when it precomputes an hour's tests.
+        """
+        gen = self._streams.get(vm_name)
+        if gen is None:
+            gen = self._seeds.generator(f"speedtest-{vm_name}")
+            self._streams[vm_name] = gen
+        return gen
 
     # ------------------------------------------------------------------
 
@@ -120,7 +141,8 @@ class SpeedTestEngine:
         """Run the full three-phase test; raises on protocol failure."""
         vm.require_running()
         cfg = self.config
-        if self._rng.random() < cfg.failure_rate:
+        rng = self.stream_for(vm.name)
+        if rng.random() < cfg.failure_rate:
             raise SpeedTestError(
                 f"test from {vm.name} to {server.server_id} failed")
         if self.injector is not None:
@@ -141,12 +163,12 @@ class SpeedTestEngine:
                                              Direction.INGRESS)
         egress_metrics = self.path_snapshot(vm, server, ts,
                                             Direction.EGRESS)
-        latency_ms = self._latency_phase(egress_metrics)
+        latency_ms = self._latency_phase(egress_metrics, rng)
         server_cap = server.effective_cap_mbps
         down_mbps, down_loss = self._bulk_phase(
-            vm, ingress_metrics, Direction.INGRESS, server_cap)
+            vm, ingress_metrics, Direction.INGRESS, server_cap, rng)
         up_mbps, up_loss = self._bulk_phase(
-            vm, egress_metrics, Direction.EGRESS, server_cap)
+            vm, egress_metrics, Direction.EGRESS, server_cap, rng)
 
         down_bytes = transferred_bytes(down_mbps, cfg.download_duration_s)
         up_bytes = transferred_bytes(up_mbps, cfg.upload_duration_s)
@@ -178,16 +200,17 @@ class SpeedTestEngine:
         return self.platform.route_pair(vm, server.host_pop_id,
                                         data_direction)
 
-    def _latency_phase(self, metrics: PathMetrics) -> float:
+    def _latency_phase(self, metrics: PathMetrics,
+                       rng: np.random.Generator) -> float:
         """Minimum RTT over a burst of small probes."""
-        jitter = self._rng.exponential(self.config.ping_jitter_ms,
-                                       size=self.config.ping_count)
+        jitter = rng.exponential(self.config.ping_jitter_ms,
+                                 size=self.config.ping_count)
         samples = metrics.rtt_ms + jitter
         return float(np.min(samples))
 
     def _bulk_phase(self, vm: VirtualMachine, metrics: PathMetrics,
-                    direction: Direction,
-                    server_cap_mbps: float) -> Tuple[float, float]:
+                    direction: Direction, server_cap_mbps: float,
+                    rng: np.random.Generator) -> Tuple[float, float]:
         """One bulk-transfer phase; returns (reported Mbps, loss rate)."""
         cfg = self.config
         tcp_mbps = multiflow_throughput_mbps(
@@ -201,8 +224,8 @@ class SpeedTestEngine:
         rate = min(rate, vm.machine_type.cpu_throughput_cap_mbps)
         # Multiplicative measurement noise: a one-sided shortfall factor
         # (tests rarely over-report) plus a tiny symmetric wiggle.
-        shortfall = abs(self._rng.normal(0.0, cfg.noise_sigma))
-        wiggle = self._rng.normal(0.0, cfg.noise_sigma * 0.25)
+        shortfall = abs(rng.normal(0.0, cfg.noise_sigma))
+        wiggle = rng.normal(0.0, cfg.noise_sigma * 0.25)
         factor = max(0.05, min(1.0, 1.0 - shortfall + wiggle))
         reported = max(0.05, rate * factor)
         return reported, metrics.measured_loss_rate

@@ -1,0 +1,498 @@
+"""Shard-equivalence harness: sharded/vectorized runs are byte-exact.
+
+Three layers of proof that :mod:`repro.shard` changes *how fast* the
+campaign runs and nothing else:
+
+* **Golden digests** - the committed ``tests/golden/digests.json``
+  digests reproduce for every ``shards`` x ``batch`` x ``faults``
+  combination of the pinned campaign shape (the same file the inline
+  golden tests pin, so inline and sharded runs are transitively equal).
+* **Event streams** - a multi-lane, two-region campaign under each
+  fault plan emits the *identical* event sequence (every payload, in
+  order) through sharded, vectorized, and forked execution.
+* **Vector oracles** - every numpy twin in :mod:`repro.shard.vectcp`
+  matches its scalar counterpart elementwise with 0 ULP drift over
+  dense random grids, including the link-flap hook interaction.
+
+Plus unit tests for the ``(hour, lane, seq)`` merge total order and
+the batch planner's refuse-to-desync strictness.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.core.export import dataset_digest
+from repro.core.scheduler import TestSlot as ScheduledSlot
+from repro.engine.bus import EventBus
+from repro.engine.events import TestLost as LostEvent
+from repro.engine.events import event_payload
+from repro.engine.lanes import CampaignEngine, Lane
+from repro.errors import ValidationError
+from repro.experiments.scenario import build_scenario
+from repro.faults import FaultPlan
+from repro.netsim.linkstate import LinkStateEvaluator
+from repro.netsim.tcp import multiflow_throughput_mbps, pftk_throughput_mbps
+from repro.netsim.topology import LinkKind
+from repro.netsim.traffic import DiurnalProfile
+from repro.shard import (BatchLaneExecutor, StampedEvent,
+                         batch_flows_for_rtt, batch_loss_rate,
+                         batch_mean_utilization,
+                         batch_mean_utilization_grid,
+                         batch_multiflow_throughput_mbps, batch_observe,
+                         batch_pftk_throughput_mbps, batch_queue_delay_ms,
+                         batch_residual_mbps, batch_utilization,
+                         batch_weekend_mask, merge_streams,
+                         partition_lanes, replay_events)
+from repro.simclock import CAMPAIGN_START, is_weekend
+from repro.speedtest.protocol import SpeedTestConfig
+from repro.units import DAY, HOUR
+
+GOLDEN = json.loads((pathlib.Path(__file__).parent / "golden"
+                     / "digests.json").read_text(encoding="utf-8"))
+
+# Keep in sync with scripts/regen_golden.py / tests/test_golden.py.
+SEED, SCALE, REGION, BUDGET_SERVERS, DAYS = 11, 0.05, "us-west1", 8, 2
+
+
+def _golden_campaign(faults, shards, batch):
+    scenario = build_scenario(seed=SEED, scale=SCALE, faults=faults)
+    clasp = scenario.clasp
+    selection = clasp.select_topology_servers(REGION)
+    plan = clasp.deploy_topology(REGION, selection,
+                                 budget_servers=BUDGET_SERVERS)
+    return clasp.run_campaign([plan], days=DAYS, shards=shards, batch=batch)
+
+
+# ----------------------------------------------------------------------
+# golden digests: every execution mode reproduces the committed bytes
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("batch", [False, True])
+def test_golden_digest_faults_off(shards, batch):
+    dataset = _golden_campaign(None, shards, batch)
+    assert dataset_digest(dataset) == GOLDEN["faults_off"]
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("batch", [False, True])
+def test_golden_digest_faults_default(shards, batch):
+    dataset = _golden_campaign(FaultPlan.default(), shards, batch)
+    assert dataset_digest(dataset) == GOLDEN["faults_default"]
+
+
+def test_batch_run_with_obs_enabled_matches_golden():
+    """Instrumentation on the batch path observes without perturbing."""
+    obs.enable()
+    try:
+        dataset = _golden_campaign(None, shards=1, batch=True)
+        assert dataset_digest(dataset) == GOLDEN["faults_off"]
+        counters = obs.snapshot()["counters"]
+        assert counters["shard.hours_planned"] == DAYS * 24
+        assert counters["speedtest.tests"] == dataset.completed_tests
+    finally:
+        obs.disable()
+
+
+# ----------------------------------------------------------------------
+# event streams: multi-lane, two-region campaigns under each fault plan
+
+
+class _StreamCollector:
+    """Bus subscriber recording every event as its payload dict."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append((event.kind, event_payload(event)))
+
+
+MATRIX_REGIONS = ("us-west1", "us-east1")
+_FAULT_PLANS = {"off": lambda: None, "default": FaultPlan.default,
+                "heavy": FaultPlan.heavy}
+
+
+def _matrix_campaign(faults, shards, batch, processes=False):
+    scenario = build_scenario(seed=7, scale=SCALE, faults=faults)
+    clasp = scenario.clasp
+    plans = [clasp.deploy_topology(region,
+                                   clasp.select_topology_servers(region),
+                                   budget_servers=20)
+             for region in MATRIX_REGIONS]
+    assert sum(len(plan.assignments) for plan in plans) >= 4
+    collector = _StreamCollector()
+    dataset = clasp.run_campaign(plans, days=1, observers=[collector],
+                                 shards=shards, batch=batch,
+                                 shard_processes=processes)
+    return dataset, collector.events, clasp
+
+
+@pytest.fixture(scope="module")
+def matrix_baseline():
+    """Inline scalar event streams + digests, one per fault plan."""
+    out = {}
+    for key, make_plan in _FAULT_PLANS.items():
+        dataset, events, clasp = _matrix_campaign(make_plan(), 1, False)
+        out[key] = (dataset_digest(dataset), events, dataset, clasp)
+    # The heavy plan must actually exercise the fault interactions the
+    # sharded paths have to replicate (preemptions, truncations).
+    heavy = out["heavy"][3].fault_injector.summary()
+    assert heavy["vm-preemption"] > 0
+    assert heavy["truncated-transfer"] > 0
+    assert out["heavy"][2].retried_tests > 0
+    return out
+
+
+# shards=2 keeps each region's lanes together (region partition);
+# shards=4 > |regions| falls back to lane round-robin - both rules run.
+@pytest.mark.parametrize("faults_key", ["off", "default", "heavy"])
+@pytest.mark.parametrize("shards,batch", [(2, False), (4, True)])
+def test_sharded_event_stream_matches_inline(matrix_baseline, faults_key,
+                                             shards, batch):
+    digest, events, _dataset, _clasp = matrix_baseline[faults_key]
+    dataset, got_events, _ = _matrix_campaign(
+        _FAULT_PLANS[faults_key](), shards, batch)
+    assert got_events == events
+    assert dataset_digest(dataset) == digest
+
+
+def test_forked_workers_match_inline(matrix_baseline):
+    """processes=True (fork): same streams, same digest, heavy faults."""
+    digest, events, _dataset, _clasp = matrix_baseline["heavy"]
+    dataset, got_events, _ = _matrix_campaign(FaultPlan.heavy(), 2, True,
+                                              processes=True)
+    assert got_events == events
+    assert dataset_digest(dataset) == digest
+
+
+# ----------------------------------------------------------------------
+# merge total order
+
+
+def _stamped(hour, lane, seq, ts=0.0):
+    return StampedEvent(hour=hour, lane=lane, seq=seq,
+                        event=LostEvent(ts=ts, region="r",
+                                            vm_name=f"vm{lane}",
+                                            server_id="s",
+                                            reason="speedtest"))
+
+
+def test_merge_orders_same_timestamp_by_lane_then_seq():
+    """Crafted ties: identical event timestamps, distinct stamps."""
+    shard_a = [_stamped(0, 0, 0, ts=7.0), _stamped(0, 0, 1, ts=7.0),
+               _stamped(0, 3, 0, ts=7.0)]
+    shard_b = [_stamped(0, 1, 0, ts=7.0), _stamped(0, 1, 1, ts=7.0)]
+    merged = merge_streams([shard_a, shard_b])
+    assert [(e.lane, e.seq) for e in merged] == [
+        (0, 0), (0, 1), (1, 0), (1, 1), (3, 0)]
+
+
+def test_merge_orders_hours_before_lanes():
+    shard_a = [_stamped(0, 5, 0), _stamped(1, 5, 0)]
+    shard_b = [_stamped(0, 1, 0), _stamped(1, 1, 0)]
+    merged = merge_streams([shard_a, shard_b])
+    assert [(e.hour, e.lane) for e in merged] == [
+        (0, 1), (0, 5), (1, 1), (1, 5)]
+
+
+def test_merge_is_invariant_to_partitioning():
+    events = [_stamped(h, lane, seq) for h in range(3)
+              for lane in range(4) for seq in range(2)]
+    whole = merge_streams([events])
+    split = merge_streams([events[0::3], events[1::3], events[2::3]])
+    assert [e.sort_key for e in split] == [e.sort_key for e in whole]
+
+
+def test_merge_rejects_duplicate_stamps_across_shards():
+    with pytest.raises(ValidationError, match="duplicate event stamp"):
+        merge_streams([[_stamped(0, 0, 0)], [_stamped(0, 0, 0)]])
+
+
+def test_merge_rejects_unsorted_shard_stream():
+    with pytest.raises(ValidationError, match="not strictly ordered"):
+        merge_streams([[_stamped(0, 1, 0), _stamped(0, 0, 0)]])
+
+
+def test_replay_synthesizes_engine_framing():
+    merged = [_stamped(0, 0, 0), _stamped(0, 0, 1), _stamped(2, 0, 0)]
+    bus = EventBus()
+    collector = _StreamCollector()
+    bus.subscribe(collector)
+    replay_events(bus, merged, start_ts=0.0, n_hours=3)
+    kinds = [kind for kind, _payload in collector.events]
+    assert kinds == ["hour-started", "test-lost", "test-lost",
+                     "hour-started", "hour-started", "test-lost",
+                     "campaign-finished"]
+    hour_starts = [payload for kind, payload in collector.events
+                   if kind == "hour-started"]
+    assert [p["hour_index"] for p in hour_starts] == [0, 1, 2]
+    assert [p["ts"] for p in hour_starts] == [0.0, HOUR, 2 * HOUR]
+    finished = collector.events[-1][1]
+    assert finished["ts"] == 3 * HOUR and finished["n_hours"] == 3
+
+
+def test_replay_rejects_events_beyond_final_hour():
+    with pytest.raises(ValidationError, match="beyond the campaign"):
+        replay_events(EventBus(), [_stamped(5, 0, 0)], start_ts=0.0,
+                      n_hours=2)
+
+
+# ----------------------------------------------------------------------
+# lane partitioning
+
+
+def _lane(name, region):
+    return Lane(name=name, region=region, schedule=None, vm=None,
+                ready_ts=0.0)
+
+
+def test_partition_keeps_regions_together():
+    lanes = [_lane("a0", "us-west1"), _lane("b0", "us-east1"),
+             _lane("a1", "us-west1"), _lane("c0", "eu-west1"),
+             _lane("b1", "us-east1")]
+    parts = partition_lanes(lanes, 3)
+    assert [[lane.name for lane in part] for part in parts] == [
+        ["a0", "a1"], ["b0", "b1"], ["c0"]]
+
+
+def test_partition_round_robins_lanes_when_regions_are_few():
+    lanes = [_lane(f"a{i}", "us-west1") for i in range(5)]
+    parts = partition_lanes(lanes, 2)
+    assert [[lane.name for lane in part] for part in parts] == [
+        ["a0", "a2", "a4"], ["a1", "a3"]]
+
+
+def test_partition_drops_empty_shards_and_validates():
+    assert len(partition_lanes([_lane("a0", "r")], 8)) == 1
+    with pytest.raises(ValidationError):
+        partition_lanes([], 0)
+
+
+# ----------------------------------------------------------------------
+# batch planner strictness
+
+
+def test_batch_planner_refuses_unplanned_slot():
+    """A planned hour must cover every stepped slot - a silent scalar
+    fallback would consume the lane's RNG stream twice and desync
+    every later draw, so the planner raises instead."""
+    scenario = build_scenario(seed=SEED, scale=SCALE)
+    clasp = scenario.clasp
+    plan = clasp.deploy_topology(REGION,
+                                 clasp.select_topology_servers(REGION),
+                                 budget_servers=BUDGET_SERVERS)
+    runner = clasp.runner
+    start = float(CAMPAIGN_START)
+    lanes = runner.build_lanes([plan], start)
+    bus = EventBus()
+    executor = BatchLaneExecutor(runner, bus)
+    engine = CampaignEngine(lanes=lanes, stepper=executor, bus=bus,
+                            start_ts=start, n_hours=1)
+    executor.attach_engine(engine)
+    executor._plan_hour(start, 0)
+    rogue = ScheduledSlot(ts=start, vm_name=lanes[0].vm.name,
+                     server_id="nope", slot_index=9999)
+    with pytest.raises(ValidationError, match="no outcome"):
+        executor._run_slot_test(lanes[0], rogue)
+
+
+# ----------------------------------------------------------------------
+# vector oracles: 0 ULP drift against the scalar hot path
+
+
+def _assert_zero_ulp(batch_values, scalar_fn, *arg_arrays):
+    __tracebackhide__ = True
+    for i in range(len(batch_values)):
+        scalar = scalar_fn(*(a[i] for a in arg_arrays))
+        assert batch_values[i] == scalar, (
+            f"element {i}: batch {batch_values[i]!r} != scalar {scalar!r} "
+            f"for args {[a[i] for a in arg_arrays]!r}")
+
+
+def test_batch_pftk_matches_scalar():
+    rng = np.random.default_rng(1)
+    rtt = rng.uniform(0.2, 400.0, 2000)
+    loss = np.concatenate([np.zeros(100), np.full(100, 1e-9),
+                           np.full(100, 1e-7),
+                           rng.uniform(0.0, 0.95, 1700)])
+    out = batch_pftk_throughput_mbps(rtt, loss)
+    _assert_zero_ulp(out, lambda r, p: pftk_throughput_mbps(float(r),
+                                                            float(p)),
+                     rtt, loss)
+
+
+def test_batch_multiflow_matches_scalar():
+    rng = np.random.default_rng(2)
+    n = 2000
+    rtt = rng.uniform(0.2, 400.0, n)
+    loss = rng.uniform(0.0, 0.6, n)
+    flows = rng.integers(1, 129, n)
+    avail = rng.uniform(0.5, 20000.0, n)
+    out = batch_multiflow_throughput_mbps(rtt, loss, flows, avail)
+    _assert_zero_ulp(
+        out,
+        lambda r, p, f, a: multiflow_throughput_mbps(
+            float(r), float(p), int(f), float(a)),
+        rtt, loss, flows, avail)
+
+
+def test_batch_flows_for_rtt_matches_scalar():
+    config = SpeedTestConfig()
+    rng = np.random.default_rng(3)
+    # Include sub-scale RTTs (scale clamps to 1) and exact half-integer
+    # products, which banker's rounding resolves to even.
+    rtt = np.concatenate([rng.uniform(0.2, 300.0, 1000),
+                          np.array([1.0, 12.5, 25.0, 25.0 * 1.5 / 24.0]),
+                          config.flow_scale_rtt_ms
+                          * (np.arange(1, 50) + 0.5) / config.n_flows])
+    out = batch_flows_for_rtt(config, rtt)
+    _assert_zero_ulp(out, lambda r: config.flows_for_rtt(float(r)), rtt)
+
+
+def _utilization_grid():
+    rng = np.random.default_rng(4)
+    return np.concatenate([rng.uniform(0.0, 1.4, 1500),
+                           np.array([0.0, 0.5, 0.92, 0.995, 1.0, 1.25])])
+
+
+@pytest.mark.parametrize("kind", list(LinkKind))
+def test_batch_loss_and_queue_match_scalar(kind):
+    u = _utilization_grid()
+    _assert_zero_ulp(batch_loss_rate(u, kind),
+                     lambda x: LinkStateEvaluator.loss_rate(float(x), kind),
+                     u)
+    _assert_zero_ulp(batch_queue_delay_ms(u, kind),
+                     lambda x: LinkStateEvaluator.queue_delay_ms(float(x),
+                                                                 kind),
+                     u)
+
+
+def test_batch_residual_matches_scalar():
+    u = _utilization_grid()
+    for capacity in (40.0, 1000.0, 12345.6):
+        _assert_zero_ulp(
+            batch_residual_mbps(capacity, u),
+            lambda x: LinkStateEvaluator.residual_mbps(capacity, float(x)),
+            u)
+
+
+@pytest.mark.parametrize("profile", [
+    DiurnalProfile.quiet(),
+    DiurnalProfile.congested_evening(utc_offset_hours=-8.0),
+    DiurnalProfile.congested_daytime(utc_offset_hours=5.5),
+])
+def test_batch_mean_utilization_matches_scalar(profile):
+    rng = np.random.default_rng(5)
+    start = float(CAMPAIGN_START)
+    # Dense two-week sweep plus timestamps within one second of local
+    # midnight, which force the per-element weekend fallback.
+    midnights = (start + np.arange(1, 8) * DAY
+                 - profile.utc_offset_hours * HOUR)
+    ts = np.concatenate([
+        start + rng.uniform(0.0, 14 * DAY, 2000),
+        midnights - 0.5, midnights, midnights + 0.5,
+    ])
+    _assert_zero_ulp(batch_mean_utilization(profile, ts),
+                     lambda t: profile.mean_utilization(float(t)), ts)
+
+
+def _mixed_profiles():
+    return (DiurnalProfile.quiet(),
+            DiurnalProfile.congested_evening(utc_offset_hours=-8.0),
+            DiurnalProfile.congested_daytime(utc_offset_hours=5.5),
+            DiurnalProfile(base=0.3, bumps=()))  # bumpless: all padding
+
+
+def test_batch_mean_utilization_grid_matches_scalar():
+    """The flat mixed-profile batch (the planner's hot path): every
+    element carries its own profile parameters, bump columns padded."""
+    profiles = _mixed_profiles()
+    rng = np.random.default_rng(8)
+    start = float(CAMPAIGN_START)
+    ts_parts = [start + rng.uniform(0.0, 14 * DAY, 600)]
+    for profile in profiles:
+        midnights = (start + np.arange(1, 4) * DAY
+                     - profile.utc_offset_hours * HOUR)
+        ts_parts.extend([midnights - 0.5, midnights, midnights + 0.5])
+    ts = np.concatenate(ts_parts)
+    n = ts.shape[0]
+    chosen = [profiles[i % len(profiles)] for i in range(n)]
+    n_bumps = max(len(p.bumps) for p in profiles)
+    pad = (0.0, 1.0, 0.0)
+    grid = np.array([
+        (p.base, p.weekend_factor, p.utc_offset_hours)
+        + sum(((b.center_hour, b.width_hours, b.amplitude)
+               for b in p.bumps), ())
+        + pad * (n_bumps - len(p.bumps))
+        for p in chosen])
+    out = batch_mean_utilization_grid(ts, grid[:, 0], grid[:, 1],
+                                      grid[:, 2], grid[:, 3::3],
+                                      grid[:, 4::3], grid[:, 5::3])
+    for i in range(n):
+        assert out[i] == chosen[i].mean_utilization(float(ts[i]))
+
+
+def test_batch_weekend_mask_matches_scalar():
+    rng = np.random.default_rng(9)
+    start = float(CAMPAIGN_START)
+    offsets = np.array([-8.0, 0.0, 5.5, 13.0])
+    ts_parts = [start + rng.uniform(0.0, 14 * DAY, 400)]
+    for offset in offsets:
+        midnights = start + np.arange(1, 4) * DAY - offset * HOUR
+        ts_parts.extend([midnights - 0.5, midnights, midnights + 0.5])
+    ts = np.concatenate(ts_parts)
+    off = offsets[np.arange(ts.shape[0]) % offsets.shape[0]]
+    mask = batch_weekend_mask(ts, off)
+    for i in range(ts.shape[0]):
+        assert mask[i] == is_weekend(float(ts[i]), float(off[i]))
+
+
+@pytest.fixture(scope="module")
+def faulty_evaluator():
+    """A generated world's evaluator with the link-flap hook wired."""
+    scenario = build_scenario(seed=3, scale=SCALE,
+                              faults=FaultPlan.heavy())
+    clasp = scenario.clasp
+    assert clasp.platform.evaluator.flap_hook is not None
+    return clasp.platform.evaluator, clasp.platform.topology
+
+
+def test_batch_utilization_matches_scalar(faulty_evaluator):
+    evaluator, topology = faulty_evaluator
+    model = evaluator.utilization_model
+    rng = np.random.default_rng(6)
+    ts = float(CAMPAIGN_START) + rng.uniform(0.0, 7 * DAY, 500)
+    for link_id in list(topology.links)[:8]:
+        for direction in (0, 1):
+            _assert_zero_ulp(
+                batch_utilization(model, link_id, direction, ts),
+                lambda t: model.utilization(link_id, direction, float(t)),
+                ts)
+
+
+def test_batch_observe_matches_scalar_with_flaps(faulty_evaluator):
+    """The full observe twin, flap-hook floors included, over enough
+    link-hours that some timestamps land in flapped hours."""
+    evaluator, topology = faulty_evaluator
+    rng = np.random.default_rng(7)
+    start = float(CAMPAIGN_START)
+    ts = np.sort(np.concatenate([
+        start + rng.uniform(0.0, 7 * DAY, 400),
+        start + np.arange(24) * HOUR + 1.0,
+    ]))
+    for link_id in list(topology.links)[:12]:
+        link = topology.link(link_id)
+        for direction in (0, 1):
+            u, residual, loss, queue = batch_observe(evaluator, link,
+                                                     direction, ts)
+            for i, t in enumerate(ts):
+                scalar = evaluator.observe(link, direction, float(t))
+                assert u[i] == scalar.utilization
+                assert residual[i] == scalar.residual_mbps
+                assert loss[i] == scalar.loss_rate
+                assert queue[i] == scalar.queue_delay_ms
