@@ -11,7 +11,10 @@ Subcommands:
   completed/retried/lost accounting and the dataset digest, and
   optionally export the dataset (``--export DIR``), write the engine
   event stream as JSON lines (``--trace PATH``), or print event/billing
-  totals (``--metrics``).
+  totals (``--metrics``).  ``--provider`` picks the cloud (gcp is the
+  default and reproduces the paper), ``--providers A,B`` adds more
+  clouds to the fleet, and ``--matrix`` runs the cross-cloud VM-pair
+  matrix plus the provider-choice analysis instead of a campaign.
 * ``world`` - generate a scenario and print its inventory.
 * ``cost`` - estimate the cloud bill for a campaign shape.
 * ``obs`` - run an instrumented campaign with :mod:`repro.obs` enabled
@@ -76,7 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp = sub.add_parser("campaign",
                             help="run one campaign, optionally with "
                                  "deterministic fault injection")
-    p_camp.add_argument("--region", default="us-west1")
+    p_camp.add_argument("--region", default=None,
+                        help="deployment region (default: the "
+                             "provider's default region)")
     p_camp.add_argument("--servers", type=int, default=8,
                         help="server budget for the deployment")
     p_camp.add_argument("--faults", choices=("off", "default", "heavy"),
@@ -99,6 +104,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "batches (byte-identical dataset)")
     p_camp.add_argument("--shard-processes", action="store_true",
                         help="run each shard in a forked worker process")
+    p_camp.add_argument("--provider", default="gcp",
+                        help="cloud provider to run the campaign on "
+                             "(gcp | aws | openstack); gcp reproduces "
+                             "the paper's digests byte-for-byte")
+    p_camp.add_argument("--providers", metavar="A,B",
+                        help="comma-separated extra providers to add "
+                             "to the fleet for cross-cloud workloads")
+    p_camp.add_argument("--matrix", action="store_true",
+                        help="skip the campaign; run the cross-cloud "
+                             "VM-pair matrix and the provider-choice "
+                             "analysis over the fleet instead")
     profile_opt(p_camp)
     common(p_camp)
 
@@ -202,8 +218,13 @@ def _cmd_quickloop(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_extra_providers(spec) -> tuple:
+    return tuple(p.strip() for p in (spec or "").split(",") if p.strip())
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import repro.obs as obs
+    from repro.cloud.providers import get_provider
     from repro.core.export import dataset_digest, export_dataset
     from repro.engine import MetricsObserver, TraceObserver
     from repro.experiments import build_scenario
@@ -213,16 +234,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     plans = {"off": None, "default": FaultPlan.default(),
              "heavy": FaultPlan.heavy()}
     fault_plan = plans[args.faults]
+    provider = get_provider(args.provider)
+    extras = _parse_extra_providers(args.providers)
+    region = args.region or provider.default_region
+    if args.matrix:
+        return _cmd_matrix(args, extras)
     if args.profile:
         # Before scenario build so deployment/selection spans land in
         # the profile too, not just the campaign hours.
         obs.enable()
     try:
         scenario = build_scenario(seed=args.seed, scale=args.scale,
-                                  faults=fault_plan)
+                                  faults=fault_plan,
+                                  provider=provider.name,
+                                  providers=extras)
         clasp = scenario.clasp
-        selection = clasp.select_topology_servers(args.region)
-        plan = clasp.deploy_topology(args.region, selection,
+        selection = clasp.select_topology_servers(region)
+        plan = clasp.deploy_topology(region, selection,
                                      budget_servers=args.servers)
         observers = []
         metrics = None
@@ -248,8 +276,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.profile:
             obs.disable()
     table = TextTable(["metric", "value"],
-                      title=f"{args.region}: {args.days}-day campaign "
-                            f"(faults={args.faults})")
+                      title=f"{provider.name}/{region}: {args.days}-day "
+                            f"campaign (faults={args.faults})")
     table.add_row(["servers measured", len(plan.server_ids)])
     if args.shards > 1 or args.batch or args.shard_processes:
         table.add_row(["execution",
@@ -282,6 +310,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.export:
         manifest = export_dataset(dataset, args.export)
         print(f"exported to {manifest.parent}")
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace, extras: tuple) -> int:
+    from repro.core.crosscloud import provider_choice, run_matrix
+    from repro.experiments import build_scenario
+    from repro.report.crosscloud import (render_matrix,
+                                         render_provider_choice)
+
+    scenario = build_scenario(seed=args.seed, scale=args.scale,
+                              provider=args.provider, providers=extras)
+    fleet = scenario.fleet
+    if len(fleet) < 2:
+        print("--matrix needs at least two providers; add some with "
+              "--providers, e.g. --providers aws,openstack",
+              file=sys.stderr)
+        return 2
+    matrix = run_matrix(fleet, shards=args.shards)
+    print(render_matrix(matrix))
+    primary = fleet.names()[0]
+    for other in fleet.names()[1:]:
+        choice = provider_choice(fleet, scenario.catalog,
+                                 scenario.clasp.prefix2as,
+                                 primary, other, seed=args.seed)
+        print()
+        print(render_provider_choice(choice))
     return 0
 
 

@@ -1,88 +1,73 @@
 """The cloud platform facade: orchestration API plus tier routing.
 
 :class:`CloudPlatform` owns the simulated cloud side of the world: it
-binds a generated Internet to the region catalog, creates/terminates
-VMs (attaching them as hosts in the topology), provides buckets, bills
-usage, and - crucially for the experiments - computes tier-correct
-routes between a VM and any destination:
-
-==============  =========  ==============  =====================
-direction       tier       graph           potato policy
-==============  =========  ==============  =====================
-egress (VM->X)  premium    full peering    cold out of the cloud
-egress (VM->X)  standard   transit-only    hot (exit at region)
-ingress (X->VM) premium    full peering    hot (enter near src)
-ingress (X->VM) standard   transit-only    cold into the cloud
-==============  =========  ==============  =====================
+binds a generated Internet to one provider's region catalog, creates
+and terminates VMs (attaching them as hosts in the topology), provides
+buckets, bills usage at the provider's rates, and - crucially for the
+experiments - computes tier-correct routes between a VM and any
+destination.  The tier -> (graph, potato policy) mapping is the
+provider's :attr:`~repro.cloud.providers.base.CloudProvider.tier_table`
+(see :mod:`repro.cloud.providers.gcp` for the paper's table).
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from .. import obs
 from ..errors import CloudError, QuotaExceededError
 from ..netsim.generator import GeneratedInternet
 from ..netsim.linkstate import LinkStateEvaluator
 from ..netsim.pathmodel import PathPerformanceModel
-from ..netsim.routing import GraphMode, Route, Router, TierPolicy
+from ..netsim.routing import Route, Router
 from ..netsim.topology import PoP
 from ..units import gbps
 from .billing import CostTracker
-from .machinetypes import machine_type_by_name
 from .nic import NetworkInterface
-from .regions import region_by_name
+from .providers import CloudProvider, get_provider
 from .storage import StorageService
-from .tiers import NetworkTier
+from .tiers import Direction
 from .vm import VirtualMachine, VMStatus
 
 __all__ = ["Direction", "CloudPlatform"]
 
 
-class Direction(enum.Enum):
-    """Direction of bulk data relative to the VM."""
-
-    EGRESS = "egress"     # VM -> remote (upload test data direction)
-    INGRESS = "ingress"   # remote -> VM (download test data direction)
-
-
-#: (direction, tier) -> (graph mode, first-AS policy, last-AS policy)
-_TIER_TABLE: Dict[Tuple[Direction, NetworkTier],
-                  Tuple[GraphMode, TierPolicy, TierPolicy]] = {
-    (Direction.EGRESS, NetworkTier.PREMIUM):
-        (GraphMode.FULL, TierPolicy.COLD_POTATO, TierPolicy.HOT_POTATO),
-    (Direction.EGRESS, NetworkTier.STANDARD):
-        (GraphMode.STANDARD, TierPolicy.HOT_POTATO, TierPolicy.HOT_POTATO),
-    (Direction.INGRESS, NetworkTier.PREMIUM):
-        (GraphMode.FULL, TierPolicy.HOT_POTATO, TierPolicy.HOT_POTATO),
-    (Direction.INGRESS, NetworkTier.STANDARD):
-        (GraphMode.STANDARD, TierPolicy.HOT_POTATO, TierPolicy.COLD_POTATO),
-}
-
-
 class CloudPlatform:
-    """Simulated cloud provider bound to one generated Internet."""
+    """One simulated cloud provider bound to one generated Internet."""
 
     #: Default per-region VM quota (matches a modest real project).
     DEFAULT_VM_QUOTA = 24
 
     def __init__(self, internet: GeneratedInternet,
                  cost_tracker: Optional[CostTracker] = None,
-                 vm_quota_per_region: int = DEFAULT_VM_QUOTA) -> None:
+                 vm_quota_per_region: int = DEFAULT_VM_QUOTA,
+                 provider: Optional[Union[str, CloudProvider]] = None,
+                 cloud_asn: Optional[int] = None) -> None:
+        """Bind *provider* (default: GCP) to *internet*.
+
+        *cloud_asn* is the ASN of this provider's WAN inside the
+        generated topology; it defaults to the Internet's primary cloud
+        ASN, which is correct for GCP.  Non-GCP providers pass the ASN
+        their WAN was grown under (see
+        :meth:`~repro.netsim.generator.TopologyGenerator.add_cloud_wan`).
+        """
+        self.provider = get_provider(provider)
         self.internet = internet
         self.topology = internet.topology
-        self.cloud_asn = internet.cloud_asn
+        self.cloud_asn = (internet.cloud_asn if cloud_asn is None
+                          else cloud_asn)
         self.router = Router(self.topology, cloud_asn=self.cloud_asn)
         self.evaluator = LinkStateEvaluator(internet.utilization)
         self.path_model = PathPerformanceModel(self.topology, self.evaluator)
-        self.costs = cost_tracker or CostTracker()
+        self.costs = cost_tracker or CostTracker(
+            prices=self.provider.price_book)
         self.storage = StorageService(self.costs)
         self._vm_quota = vm_quota_per_region
         self._vms: Dict[str, VirtualMachine] = {}
         self._vm_counter = itertools.count(1)
-        self._route_cache: Dict[Tuple[int, int, Direction, NetworkTier, int],
+        self._route_cache: Dict[Tuple[int, int, Direction, enum.Enum, int],
                                 Route] = {}
 
     # ------------------------------------------------------------------
@@ -90,7 +75,7 @@ class CloudPlatform:
 
     def region_pop(self, region_name: str) -> PoP:
         """The cloud WAN PoP hosting a region's datacenter."""
-        region = region_by_name(region_name)
+        region = self.provider.region(region_name)
         pop = self.topology.pop_of_as_in_city(self.cloud_asn, region.city_key)
         if pop is None:
             raise CloudError(
@@ -100,9 +85,8 @@ class CloudPlatform:
 
     def available_regions(self) -> List[str]:
         """Regions whose metro exists in the generated topology."""
-        from .regions import REGIONS
         out = []
-        for name, region in REGIONS.items():
+        for name, region in self.provider.regions.items():
             if self.topology.pop_of_as_in_city(self.cloud_asn,
                                                region.city_key) is not None:
                 out.append(name)
@@ -112,7 +96,7 @@ class CloudPlatform:
     # VM lifecycle
 
     def create_vm(self, region_name: str, machine_type: str,
-                  tier: NetworkTier, ts: float,
+                  tier: enum.Enum, ts: float,
                   zone_suffix: Optional[str] = None,
                   name: Optional[str] = None,
                   inherit_attachment_from: Optional[VirtualMachine] = None
@@ -136,18 +120,18 @@ class CloudPlatform:
         return vm
 
     def _create_vm(self, region_name: str, machine_type: str,
-                   tier: NetworkTier, ts: float,
+                   tier: enum.Enum, ts: float,
                    zone_suffix: Optional[str],
                    name: Optional[str],
                    donor: Optional[VirtualMachine] = None) -> VirtualMachine:
-        region = region_by_name(region_name)
+        region = self.provider.region(region_name)
         running = [v for v in self._vms.values()
                    if v.region_name == region_name and v.is_running]
         if len(running) >= self._vm_quota:
             raise QuotaExceededError(
                 f"region {region_name} is at its quota of "
                 f"{self._vm_quota} running VMs")
-        mtype = machine_type_by_name(machine_type)
+        mtype = self.provider.machine_type(machine_type)
         if donor is not None:
             if donor.is_running:
                 raise CloudError(
@@ -251,7 +235,8 @@ class CloudPlatform:
             obs.inc("cloud.route.cache_hits")
             return cached
         obs.inc("cloud.route.cache_misses")
-        mode, first_pol, last_pol = _TIER_TABLE[(direction, vm.tier)]
+        mode, first_pol, last_pol = self.provider.tier_route(direction,
+                                                             vm.tier)
         if direction is Direction.EGRESS:
             src, dst = vm.nic.host_pop_id, remote_pop_id
         else:

@@ -36,7 +36,16 @@ class PriceBook:
     def egress_usd(self, n_bytes: float, tier: NetworkTier) -> float:
         if n_bytes < 0:
             raise ValidationError(f"bytes must be >= 0, got {n_bytes}")
-        return bytes_to_gb(n_bytes) * self.egress_per_gb[tier.value]
+        # Accept any provider's tier enum (or a raw tier value string):
+        # the rate card is keyed on serialized tier values.
+        key = getattr(tier, "value", tier)
+        try:
+            rate = self.egress_per_gb[key]
+        except KeyError:
+            raise ValidationError(
+                f"no egress rate for tier {key!r}; priced tiers: "
+                f"{', '.join(sorted(self.egress_per_gb))}") from None
+        return bytes_to_gb(n_bytes) * rate
 
     def storage_usd(self, n_bytes: float, months: float) -> float:
         if n_bytes < 0 or months < 0:

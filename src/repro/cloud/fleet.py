@@ -1,0 +1,105 @@
+"""A fleet: several providers' platforms over one generated Internet.
+
+Cross-cloud workloads (the CloudCast-style VM-pair matrix, the
+provider-choice analysis) need VMs from more than one provider living
+in the *same* simulated Internet so their paths traverse shared
+transit.  :class:`CloudFleet` is that bundle: an ordered, named set of
+:class:`~repro.cloud.api.CloudPlatform` instances - one per provider,
+each bound to its own WAN ASN in the shared topology, each billing to
+its own cost tracker at its own rates.
+
+The fleet does not grow WANs; the scenario layer does that (it owns
+the topology generator) and passes the resulting ASNs in here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigError, ProviderLookupError
+from ..netsim.generator import GeneratedInternet
+from .api import CloudPlatform
+from .providers import CloudProvider, get_provider
+
+__all__ = ["CloudFleet"]
+
+
+class CloudFleet:
+    """Ordered, named cloud platforms sharing one Internet."""
+
+    def __init__(self, platforms: Mapping[str, CloudPlatform]) -> None:
+        if not platforms:
+            raise ConfigError("a fleet needs at least one platform")
+        self._platforms: Dict[str, CloudPlatform] = dict(platforms)
+        for name, platform in self._platforms.items():
+            if platform.provider.name != name:
+                raise ConfigError(
+                    f"fleet key {name!r} does not match the platform's "
+                    f"provider {platform.provider.name!r}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def primary(self) -> CloudPlatform:
+        """The first platform - the one the main campaign runs on."""
+        return next(iter(self._platforms.values()))
+
+    def platform(self, name: str) -> CloudPlatform:
+        try:
+            return self._platforms[name]
+        except KeyError:
+            raise ProviderLookupError(
+                f"no {name!r} platform in this fleet; have: "
+                f"{', '.join(self._platforms)}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._platforms)
+
+    def platforms(self) -> Tuple[CloudPlatform, ...]:
+        return tuple(self._platforms.values())
+
+    def __iter__(self) -> Iterator[CloudPlatform]:
+        return iter(self._platforms.values())
+
+    def __len__(self) -> int:
+        return len(self._platforms)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._platforms
+
+    def total_cost_usd(self) -> float:
+        return sum(p.costs.total_usd for p in self)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, internet: GeneratedInternet,
+              providers: Sequence[Union[str, CloudProvider]],
+              *,
+              cloud_asns: Optional[Mapping[str, int]] = None,
+              platforms: Optional[Mapping[str, CloudPlatform]] = None
+              ) -> "CloudFleet":
+        """One platform per provider, in the given order.
+
+        *cloud_asns* maps provider names to the ASN their WAN occupies
+        in the topology; a provider without an entry uses the
+        Internet's primary cloud ASN (correct only for the provider
+        whose WAN the generator built natively - GCP).  *platforms*
+        supplies pre-built platforms by name (so the Clasp-owned
+        primary platform can join the fleet instead of being rebuilt).
+        """
+        asns = dict(cloud_asns or {})
+        prebuilt = dict(platforms or {})
+        out: Dict[str, CloudPlatform] = {}
+        for entry in providers:
+            provider = get_provider(entry)
+            if provider.name in out:
+                raise ConfigError(
+                    f"provider {provider.name!r} listed twice")
+            if provider.name in prebuilt:
+                out[provider.name] = prebuilt[provider.name]
+                continue
+            out[provider.name] = CloudPlatform(
+                internet, provider=provider,
+                cloud_asn=asns.get(provider.name))
+        return cls(out)

@@ -1,0 +1,101 @@
+"""An AWS-like provider: hot-potato backbone, one "accelerated" tier.
+
+The WAN personality is the inverse of GCP's: by default traffic leaves
+the cloud at the nearest transit interconnection (hot potato both
+ways), and there is no cheap transit-only tier because that *is* the
+default.  The premium product is instead an accelerated tier (modeled
+on Global Accelerator): egress rides the backbone cold-potato to the
+interconnection nearest the destination, which is exactly GCP
+premium's egress personality.  Ingress acceleration still enters where
+the Internet hands the packet over - the provider cannot choose the
+entry point of traffic it does not yet carry - so the accelerated
+ingress row equals the standard one; what the product buys is the
+egress leg plus the pricier rate card.
+
+The tier graph is :data:`GraphMode.FULL` in every row: this WAN buys
+transit only (no settlement-free peering fabric), so there is no
+peering-free "standard graph" to fall back to - both tiers see the
+same interdomain edges and differ purely in potato policy and price.
+
+The WAN itself does not exist in a generated Internet; ``wan``
+describes how to grow it (8 metros, 2 transit providers).
+"""
+
+from __future__ import annotations
+
+from ...netsim.routing import GraphMode, TierPolicy
+from ...units import gbps
+from ..billing import PriceBook
+from ..machinetypes import MachineType
+from ..regions import Region
+from ..tiers import Direction
+from .base import CloudProvider, WanConfig
+from .tiervocab import AwsTier
+
+__all__ = ["AWS"]
+
+_REGIONS = {
+    region.name: region
+    for region in (
+        Region("us-east-1", "Ashburn, US"),
+        Region("us-east-2", "Columbus, US"),
+        Region("us-west-1", "San Francisco, US"),
+        Region("us-west-2", "Portland, US"),
+        Region("eu-west-1", "Dublin, IE"),
+        Region("eu-central-1", "Frankfurt, DE"),
+        Region("ap-southeast-1", "Singapore, SG"),
+        Region("ap-northeast-1", "Tokyo, JP"),
+    )
+}
+
+_MACHINE_TYPES = {
+    mtype.name: mtype
+    for mtype in (
+        MachineType("t3.small", vcpus=2, memory_gb=2.0,
+                    egress_cap_mbps=gbps(5.0), hourly_usd=0.0208),
+        MachineType("m5.large", vcpus=2, memory_gb=8.0,
+                    egress_cap_mbps=gbps(10.0), hourly_usd=0.0960),
+        MachineType("m5.xlarge", vcpus=4, memory_gb=16.0,
+                    egress_cap_mbps=gbps(10.0), hourly_usd=0.1920),
+        MachineType("c5.large", vcpus=2, memory_gb=4.0,
+                    egress_cap_mbps=gbps(10.0), hourly_usd=0.0850),
+    )
+}
+
+AWS = CloudProvider(
+    name="aws",
+    display_name="Amazon Web Services (modeled)",
+    regions=_REGIONS,
+    machine_types=_MACHINE_TYPES,
+    tiers=(AwsTier.STANDARD, AwsTier.ACCELERATED),
+    tier_table={
+        (Direction.EGRESS, AwsTier.STANDARD):
+            (GraphMode.FULL, TierPolicy.HOT_POTATO, TierPolicy.HOT_POTATO),
+        (Direction.INGRESS, AwsTier.STANDARD):
+            (GraphMode.FULL, TierPolicy.HOT_POTATO, TierPolicy.HOT_POTATO),
+        (Direction.EGRESS, AwsTier.ACCELERATED):
+            (GraphMode.FULL, TierPolicy.COLD_POTATO, TierPolicy.HOT_POTATO),
+        (Direction.INGRESS, AwsTier.ACCELERATED):
+            (GraphMode.FULL, TierPolicy.HOT_POTATO, TierPolicy.HOT_POTATO),
+    },
+    price_book=PriceBook(
+        egress_per_gb={
+            AwsTier.STANDARD.value: 0.09,
+            AwsTier.ACCELERATED.value: 0.115,
+        },
+        storage_per_gb_month=0.023,
+        intra_region_per_gb=0.01,
+    ),
+    default_region="us-east-1",
+    default_machine_type="m5.large",
+    probe_machine_type="t3.small",
+    measurement_tier=AwsTier.STANDARD,
+    differential_tiers=(AwsTier.ACCELERATED, AwsTier.STANDARD),
+    wan=WanConfig(
+        asn=16509,
+        as_name="AmazonLike",
+        city_keys=tuple(r.city_key for r in _REGIONS.values()),
+        backbone_gbps=(200.0, 800.0),
+        n_transits=2,
+    ),
+)

@@ -1,0 +1,59 @@
+"""The GCP provider: the paper's platform, and the package default.
+
+Everything here simply re-packages the catalogs the package has always
+shipped (:data:`repro.cloud.regions.REGIONS`,
+:data:`repro.cloud.machinetypes.MACHINE_TYPES`,
+:class:`repro.cloud.tiers.NetworkTier`) plus the tier routing table
+that used to be a private dict in ``cloud/api.py``.  A campaign run
+with ``provider="gcp"`` is byte-identical to one run before the
+provider abstraction existed - the golden-digest tests pin this.
+
+Tier semantics (paper section 2):
+
+==============  =========  ==============  =====================
+direction       tier       graph           potato policy
+==============  =========  ==============  =====================
+egress (VM->X)  premium    full peering    cold out of the cloud
+egress (VM->X)  standard   transit-only    hot (exit at region)
+ingress (X->VM) premium    full peering    hot (enter near src)
+ingress (X->VM) standard   transit-only    cold into the cloud
+==============  =========  ==============  =====================
+"""
+
+from __future__ import annotations
+
+from ...netsim.routing import GraphMode, TierPolicy
+from ..billing import PriceBook
+from ..machinetypes import MACHINE_TYPES
+from ..regions import REGIONS
+from ..tiers import Direction, NetworkTier
+from .base import CloudProvider
+
+__all__ = ["GCP"]
+
+GCP = CloudProvider(
+    name="gcp",
+    display_name="Google Cloud Platform",
+    regions=REGIONS,
+    machine_types=MACHINE_TYPES,
+    tiers=(NetworkTier.PREMIUM, NetworkTier.STANDARD),
+    tier_table={
+        (Direction.EGRESS, NetworkTier.PREMIUM):
+            (GraphMode.FULL, TierPolicy.COLD_POTATO, TierPolicy.HOT_POTATO),
+        (Direction.EGRESS, NetworkTier.STANDARD):
+            (GraphMode.STANDARD, TierPolicy.HOT_POTATO,
+             TierPolicy.HOT_POTATO),
+        (Direction.INGRESS, NetworkTier.PREMIUM):
+            (GraphMode.FULL, TierPolicy.HOT_POTATO, TierPolicy.HOT_POTATO),
+        (Direction.INGRESS, NetworkTier.STANDARD):
+            (GraphMode.STANDARD, TierPolicy.HOT_POTATO,
+             TierPolicy.COLD_POTATO),
+    },
+    price_book=PriceBook(),
+    default_region="us-west1",
+    default_machine_type="n1-standard-2",
+    probe_machine_type="e2-small",
+    measurement_tier=NetworkTier.PREMIUM,
+    differential_tiers=(NetworkTier.PREMIUM, NetworkTier.STANDARD),
+    wan=None,
+)

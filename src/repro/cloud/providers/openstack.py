@@ -1,0 +1,78 @@
+"""An OpenStack-like private cloud: one datacenter, no WAN, flat bill.
+
+The interesting degenerate case for the abstraction: a single region
+backed by a single PoP, a one-member tier enum whose table rows are
+all identical (there is no backbone to steer traffic onto, so potato
+policy is moot - hot potato everywhere), and a rate card with zero
+egress pricing because a private cloud bills by capacity, not by the
+byte.  The flat cost shows up purely as VM hours on beefier-than-GCP
+flavors.
+
+No differential tier pair exists (``differential_tiers=None``), so
+differential deployments raise ``SchedulingError`` - the provider
+abstraction makes "this workload needs two tiers" an explicit,
+testable property instead of an implicit GCP assumption.
+
+The DC still buys transit from one tier-1 (``n_transits=1``): private
+clouds are reachable, they just do not run a WAN.
+"""
+
+from __future__ import annotations
+
+from ...netsim.routing import GraphMode, TierPolicy
+from ...units import gbps
+from ..billing import PriceBook
+from ..machinetypes import MachineType
+from ..regions import Region
+from ..tiers import Direction
+from .base import CloudProvider, WanConfig
+from .tiervocab import OpenStackTier
+
+__all__ = ["OPENSTACK"]
+
+_REGIONS = {
+    "dc-1": Region("dc-1", "Chicago, US", zone_suffixes=("a",)),
+}
+
+_MACHINE_TYPES = {
+    mtype.name: mtype
+    for mtype in (
+        MachineType("m1.small", vcpus=2, memory_gb=4.0,
+                    egress_cap_mbps=gbps(1.0), hourly_usd=0.0500),
+        MachineType("m1.medium", vcpus=4, memory_gb=8.0,
+                    egress_cap_mbps=gbps(10.0), hourly_usd=0.1000),
+        MachineType("m1.large", vcpus=8, memory_gb=16.0,
+                    egress_cap_mbps=gbps(10.0), hourly_usd=0.2000),
+    )
+}
+
+OPENSTACK = CloudProvider(
+    name="openstack",
+    display_name="OpenStack private cloud (modeled)",
+    regions=_REGIONS,
+    machine_types=_MACHINE_TYPES,
+    tiers=(OpenStackTier.INTERNAL,),
+    tier_table={
+        (Direction.EGRESS, OpenStackTier.INTERNAL):
+            (GraphMode.FULL, TierPolicy.HOT_POTATO, TierPolicy.HOT_POTATO),
+        (Direction.INGRESS, OpenStackTier.INTERNAL):
+            (GraphMode.FULL, TierPolicy.HOT_POTATO, TierPolicy.HOT_POTATO),
+    },
+    price_book=PriceBook(
+        egress_per_gb={OpenStackTier.INTERNAL.value: 0.0},
+        storage_per_gb_month=0.0,
+        intra_region_per_gb=0.0,
+    ),
+    default_region="dc-1",
+    default_machine_type="m1.medium",
+    probe_machine_type="m1.small",
+    measurement_tier=OpenStackTier.INTERNAL,
+    differential_tiers=None,
+    wan=WanConfig(
+        asn=64512,
+        as_name="PrivateDC",
+        city_keys=("Chicago, US",),
+        backbone_gbps=(40.0, 100.0),
+        n_transits=1,
+    ),
+)

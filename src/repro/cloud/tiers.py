@@ -9,19 +9,32 @@
   transit all the way and is delivered at the interconnection nearest
   the region, because standard-tier prefixes are only announced there.
 
-The mapping to route computation lives in
-:meth:`repro.cloud.api.CloudPlatform.route`.
+The mapping to route computation lives in each provider's tier table
+(:attr:`repro.cloud.providers.base.CloudProvider.tier_table`), consumed
+by :meth:`repro.cloud.api.CloudPlatform.route`.
 """
 
 from __future__ import annotations
 
 import enum
 
-__all__ = ["NetworkTier"]
+__all__ = ["Direction", "NetworkTier"]
+
+
+class Direction(enum.Enum):
+    """Direction of bulk data relative to the VM."""
+
+    EGRESS = "egress"     # VM -> remote (upload test data direction)
+    INGRESS = "ingress"   # remote -> VM (download test data direction)
 
 
 class NetworkTier(enum.Enum):
-    """The two network service tiers the platform sells."""
+    """The two network service tiers GCP sells.
+
+    Other providers carry their own tier enums (see
+    :mod:`repro.cloud.providers`); this one stays here because the
+    paper's platform is GCP and most of the package speaks it natively.
+    """
 
     PREMIUM = "premium"
     STANDARD = "standard"

@@ -87,9 +87,13 @@ class CampaignConfig:
 class CampaignDataset:
     """Collected measurements plus the metadata analyses need."""
 
-    def __init__(self, start_ts: float, end_ts: float) -> None:
+    def __init__(self, start_ts: float, end_ts: float,
+                 provider: str = "gcp") -> None:
         self.start_ts = start_ts
         self.end_ts = end_ts
+        #: Name of the provider the campaign ran on (export metadata;
+        #: not part of the dataset digest).
+        self.provider = provider
         self.db = TimeSeriesDB()
         self.table: Table = self.db.create_table("speedtest", _TAGS, _FIELDS)
         self.servers: Dict[str, ServerMeta] = {}
@@ -186,6 +190,7 @@ class BillingObserver:
         self.platform = platform
         self.config = config
         self.bus = bus
+        self._provider_name = platform.provider.name
         self._pending_hour_ts: Optional[float] = None
         self._last_storage_charge = config.start_ts
 
@@ -197,15 +202,19 @@ class BillingObserver:
         elif kind == "campaign-finished":
             self._settle_pending()
         elif kind == "test-completed":
+            # event.tier is the serialized tier value; the rate card is
+            # keyed on exactly those values, whatever the provider.
             usd = self.platform.costs.charge_egress(
-                event.upload_bytes, NetworkTier(event.tier))
+                event.upload_bytes, event.tier)
             self.bus.emit(BillingCharged(ts=event.ts, category="egress",
-                                         amount_usd=usd))
+                                         amount_usd=usd,
+                                         provider=self._provider_name))
         elif kind == "upload-attempted" and event.ok:
             usd = self.platform.costs.charge_intra_region(event.size_bytes)
             self.bus.emit(BillingCharged(ts=event.ts,
                                          category="intra_region",
-                                         amount_usd=usd))
+                                         amount_usd=usd,
+                                         provider=self._provider_name))
 
     def _settle_pending(self) -> None:
         hour_start = self._pending_hour_ts
@@ -214,14 +223,16 @@ class BillingObserver:
         self._pending_hour_ts = None
         usd = self.platform.charge_vm_uptime(1.0)
         self.bus.emit(BillingCharged(ts=hour_start + HOUR,
-                                     category="vm_hours", amount_usd=usd))
+                                     category="vm_hours", amount_usd=usd,
+                                     provider=self._provider_name))
         every_days = self.config.storage_charge_every_days
         if hour_start - self._last_storage_charge >= every_days * DAY:
             usd = self.platform.storage.charge_monthly_storage(
                 months=every_days / 30.0)
             self.bus.emit(BillingCharged(ts=hour_start + HOUR,
                                          category="storage",
-                                         amount_usd=usd))
+                                         amount_usd=usd,
+                                         provider=self._provider_name))
             self._last_storage_charge = hour_start
 
 
@@ -305,9 +316,11 @@ class LaneExecutor:
         assert runner.injector is not None
         assert runner.orchestrator is not None
         old_vm = lane.vm
+        provider_name = runner.platform.provider.name
         runner.platform.preempt_vm(old_vm.name, hour_start)
         self.bus.emit(VMPreempted(ts=hour_start, region=lane.region,
-                                  vm_name=old_vm.name))
+                                  vm_name=old_vm.name,
+                                  provider=provider_name))
         replacement = runner.orchestrator.replace_vm(
             lane.plan, old_vm, hour_start,
             name=lane.next_replacement_name())
@@ -318,7 +331,8 @@ class LaneExecutor:
         self.bus.emit(VMReplaced(ts=hour_start, region=lane.region,
                                  old_name=old_vm.name,
                                  new_name=replacement.name,
-                                 ready_ts=lane.ready_ts))
+                                 ready_ts=lane.ready_ts,
+                                 provider=provider_name))
 
     def _run_hour(self, lane: Lane,
                   slots: Sequence[TestSlot]) -> int:
@@ -531,7 +545,8 @@ class CampaignRunner:
         installs its per-hour pre-computation hook.
         """
         cfg = config or CampaignConfig()
-        dataset = CampaignDataset(cfg.start_ts, cfg.end_ts)
+        dataset = CampaignDataset(cfg.start_ts, cfg.end_ts,
+                                  provider=self.platform.provider.name)
         self.register_metadata(dataset, plans)
 
         bus = self.compose_bus(cfg, dataset, observers)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..cloud.api import CloudPlatform
 from ..cloud.billing import CostTracker
+from ..cloud.providers import get_provider
 from ..cloud.tiers import NetworkTier
 from ..faults import FaultInjector, FaultPlan
 from ..netsim.generator import GeneratedInternet
@@ -73,21 +74,30 @@ class Clasp:
               seeds: Optional[SeedTree] = None,
               budget_usd: Optional[float] = None,
               speedtest_config: Optional[SpeedTestConfig] = None,
-              fault_plan: Optional[FaultPlan] = None) -> "Clasp":
+              fault_plan: Optional[FaultPlan] = None,
+              provider: Optional[str] = None,
+              cloud_asn: Optional[int] = None) -> "Clasp":
         """Assemble a full CLASP stack over a generated Internet.
 
         With a *fault_plan*, the campaign runner builds a seed-derived
         :class:`~repro.faults.FaultInjector` and wires its streams into
         the speed-test engine, the storage service, and the link-state
         evaluator; the same seed then reproduces the same faults.
+
+        *provider* picks the cloud the stack measures from (default
+        GCP); *cloud_asn* is the ASN of that provider's WAN in the
+        topology, when it is not the Internet's native cloud (see
+        :meth:`~repro.netsim.generator.TopologyGenerator.add_cloud_wan`).
         """
         seeds = seeds or SeedTree(0)
-        costs = CostTracker(budget_usd=budget_usd)
-        platform = CloudPlatform(internet, cost_tracker=costs)
+        prov = get_provider(provider)
+        costs = CostTracker(prices=prov.price_book, budget_usd=budget_usd)
+        platform = CloudPlatform(internet, cost_tracker=costs,
+                                 provider=prov, cloud_asn=cloud_asn)
         p2a = build_prefix2as(internet.topology)
         scamper = Scamper(internet.topology, platform.router,
                           platform.evaluator, seeds.child("scamper"))
-        bdr = Bdrmap(internet.topology, scamper, p2a, internet.cloud_asn,
+        bdr = Bdrmap(internet.topology, scamper, p2a, platform.cloud_asn,
                      AliasResolver(internet.topology,
                                    seeds=seeds.child("alias")))
         ipinfo = IpInfoDatabase(internet.topology, p2a,

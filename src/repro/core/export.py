@@ -29,7 +29,7 @@ import json
 import pathlib
 from typing import Union
 
-from ..cloud.tiers import NetworkTier
+from ..cloud.providers import resolve_tier
 from ..errors import AnalysisError
 from .campaign import CampaignDataset
 from .records import MeasurementRecord, ServerMeta
@@ -140,6 +140,7 @@ def export_dataset(dataset: CampaignDataset,
     n_rows = max(0, measurements_text.count("\n") - 1)
     manifest = {
         "schema_version": SCHEMA_VERSION,
+        "provider": getattr(dataset, "provider", "gcp"),
         "start_ts": dataset.start_ts,
         "end_ts": dataset.end_ts,
         "n_measurements": n_rows,
@@ -169,7 +170,11 @@ def load_dataset(directory: Union[str, pathlib.Path]) -> CampaignDataset:
             f"unsupported schema version "
             f"{manifest.get('schema_version')!r}")
 
-    dataset = CampaignDataset(manifest["start_ts"], manifest["end_ts"])
+    # Datasets written before the provider abstraction carry no
+    # provider key; they are GCP by definition.
+    provider = manifest.get("provider", "gcp")
+    dataset = CampaignDataset(manifest["start_ts"], manifest["end_ts"],
+                              provider=provider)
     servers = json.loads((path / "servers.json")
                          .read_text(encoding="utf-8"))
     for raw in servers.values():
@@ -186,7 +191,7 @@ def load_dataset(directory: Union[str, pathlib.Path]) -> CampaignDataset:
                 region=row["region"],
                 vm_name="",
                 server_id=row["server_id"],
-                tier=NetworkTier(row["tier"]),
+                tier=resolve_tier(row["tier"], provider),
                 download_mbps=float(row["download_mbps"]),
                 upload_mbps=float(row["upload_mbps"]),
                 latency_ms=float(row["latency_ms"]),

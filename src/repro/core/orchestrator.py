@@ -6,11 +6,17 @@ plus a 20-minute traceroute budget and 5 minutes for result upload),
 creates VMs spread across availability zones, applies the 1 Gbps /
 100 Mbps ``tc`` shaping, provisions the regional storage bucket, and
 assigns each VM its server list.  Differential regions get a *pair* of
-VMs (premium + standard) per server list.
+VMs per server list - one per tier of the provider's differential
+pair (premium + standard on GCP).
+
+Provider-specific defaults (machine type, measurement tier, the
+differential tier pair, bucket naming) come from the platform's
+:class:`~repro.cloud.providers.base.CloudProvider`.
 """
 
 from __future__ import annotations
 
+import enum
 import itertools
 import math
 from dataclasses import dataclass, field
@@ -18,7 +24,6 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..cloud.api import CloudPlatform
 from ..cloud.storage import StorageBucket
-from ..cloud.tiers import NetworkTier
 from ..cloud.vm import VirtualMachine
 from ..errors import SchedulingError
 
@@ -32,7 +37,8 @@ TESTS_PER_VM_HOUR = 17
 DOWNLINK_CAP_MBPS = 1000.0
 UPLINK_CAP_MBPS = 100.0
 
-#: The VM type the paper used.
+#: The VM type the paper used (GCP's default; other providers name
+#: their own default in their catalog).
 DEFAULT_MACHINE_TYPE = "n1-standard-2"
 
 
@@ -45,6 +51,10 @@ class DeploymentPlan:
     #: (vm, the server ids it measures hourly)
     assignments: List[Tuple[VirtualMachine, List[str]]] = \
         field(default_factory=list)
+    #: Which provider the VMs belong to (shard partitioning keys
+    #: lanes by (provider, region) so mixed fleets never share a lane
+    #: group across clouds).
+    provider: str = "gcp"
 
     @property
     def vms(self) -> List[VirtualMachine]:
@@ -68,9 +78,10 @@ class Orchestrator:
     """Creates and wires up the measurement deployment."""
 
     def __init__(self, platform: CloudPlatform,
-                 machine_type: str = DEFAULT_MACHINE_TYPE) -> None:
+                 machine_type: Optional[str] = None) -> None:
         self.platform = platform
-        self.machine_type = machine_type
+        self.machine_type = (machine_type if machine_type is not None
+                             else platform.provider.default_machine_type)
         self._deployment_counter = itertools.count(1)
 
     # ------------------------------------------------------------------
@@ -83,7 +94,7 @@ class Orchestrator:
                 f"cannot plan a deployment for {n_servers} servers")
         return math.ceil(n_servers / TESTS_PER_VM_HOUR)
 
-    def _new_vm(self, region: str, tier: NetworkTier, ts: float,
+    def _new_vm(self, region: str, tier: enum.Enum, ts: float,
                 suffix: str) -> VirtualMachine:
         vm = self.platform.create_vm(
             region, self.machine_type, tier, ts,
@@ -93,7 +104,7 @@ class Orchestrator:
         return vm
 
     def _bucket(self, region: str) -> StorageBucket:
-        name = f"clasp-results-{region}"
+        name = self.platform.provider.bucket_name(region)
         try:
             return self.platform.storage.bucket(name)
         except Exception:
@@ -115,19 +126,26 @@ class Orchestrator:
             ids = ids[:budget_servers]
         if not ids:
             raise SchedulingError(f"empty server list for {region}")
-        plan = DeploymentPlan(region=region, bucket=self._bucket(region))
+        provider = self.platform.provider
+        plan = DeploymentPlan(region=region, bucket=self._bucket(region),
+                              provider=provider.name)
         deployment = next(self._deployment_counter)
         n_vms = self.vms_needed(len(ids))
         for i in range(n_vms):
             chunk = ids[i * TESTS_PER_VM_HOUR:(i + 1) * TESTS_PER_VM_HOUR]
-            vm = self._new_vm(region, NetworkTier.PREMIUM, ts,
+            vm = self._new_vm(region, provider.measurement_tier, ts,
                               f"d{deployment:02d}-{i + 1:02d}")
             plan.assignments.append((vm, chunk))
         return plan
 
     def deploy_differential(self, region: str, server_ids: Sequence[str],
                             ts: float) -> DeploymentPlan:
-        """Deploy one premium + one standard VM measuring the same list."""
+        """Deploy one VM per differential tier measuring the same list.
+
+        On GCP that is the premium + standard pair.  Providers without
+        two comparable tiers (single-tier private clouds) cannot host
+        a differential deployment and raise :class:`SchedulingError`.
+        """
         ids = list(server_ids)
         if not ids:
             raise SchedulingError(f"empty server list for {region}")
@@ -135,9 +153,15 @@ class Orchestrator:
             raise SchedulingError(
                 f"differential list for {region} exceeds one VM-hour "
                 f"({len(ids)} > {TESTS_PER_VM_HOUR})")
-        plan = DeploymentPlan(region=region, bucket=self._bucket(region))
+        provider = self.platform.provider
+        if provider.differential_tiers is None:
+            raise SchedulingError(
+                f"provider {provider.name!r} has a single network tier; "
+                f"differential deployments need two")
+        plan = DeploymentPlan(region=region, bucket=self._bucket(region),
+                              provider=provider.name)
         deployment = next(self._deployment_counter)
-        for tier in (NetworkTier.PREMIUM, NetworkTier.STANDARD):
+        for tier in provider.differential_tiers:
             vm = self._new_vm(region, tier, ts, f"d{deployment:02d}-pair")
             plan.assignments.append((vm, list(ids)))
         return plan

@@ -135,6 +135,8 @@ class VMPreempted(CampaignEvent):
 
     region: str
     vm_name: str
+    #: Which cloud the VM belonged to ("gcp" unless a fleet is running).
+    provider: str = "gcp"
 
 
 @dataclass(frozen=True)
@@ -148,6 +150,8 @@ class VMReplaced(CampaignEvent):
     new_name: str
     #: When the replacement can serve its first full hour.
     ready_ts: float
+    #: Which cloud the VM belongs to ("gcp" unless a fleet is running).
+    provider: str = "gcp"
 
 
 @dataclass(frozen=True)
@@ -158,6 +162,8 @@ class BillingCharged(CampaignEvent):
 
     category: str
     amount_usd: float
+    #: Which cloud's cost tracker the charge landed on.
+    provider: str = "gcp"
 
 
 @dataclass(frozen=True)

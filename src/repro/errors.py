@@ -19,6 +19,7 @@ __all__ = [
     "RoutingError",
     "NoRouteError",
     "CloudError",
+    "ProviderLookupError",
     "QuotaExceededError",
     "BudgetExhaustedError",
     "StorageError",
@@ -82,6 +83,17 @@ class NoRouteError(RoutingError):
 
 class CloudError(ReproError):
     """Cloud-platform operation failed (VM lifecycle, tier config, ...)."""
+
+
+class ProviderLookupError(CloudError, ValidationError):
+    """An unknown name was looked up in a provider catalog.
+
+    Raised by :class:`~repro.cloud.providers.base.CloudProvider` lookup
+    methods (regions, machine types, tiers).  Derives from both
+    :class:`CloudError` (it is a cloud-platform failure, and historic
+    call sites catch that) and :class:`ValidationError` (the provider
+    contract promises domain-validation semantics for bad names).
+    """
 
 
 class QuotaExceededError(CloudError):

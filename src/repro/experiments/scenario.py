@@ -27,9 +27,11 @@ parentheses):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 
+from ..cloud.fleet import CloudFleet
+from ..cloud.providers import get_provider
 from ..cloud.regions import (
     PAPER_DIFFERENTIAL_REGIONS,
     PAPER_TABLE1_REGIONS,
@@ -70,10 +72,28 @@ class ScenarioConfig:
     budget_usd: Optional[float] = None
     #: Fault-injection schedule (None = the fault-free world).
     faults: Optional[FaultPlan] = None
+    #: The provider the main campaign runs on.
+    provider: str = "gcp"
+    #: Extra providers to add to the fleet (their WANs are grown into
+    #: the topology); the primary is always included.
+    providers: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.02 <= self.scale <= 4.0:
             raise ValidationError(f"scale out of range: {self.scale}")
+        # Resolve eagerly so a bad name fails at config time.
+        get_provider(self.provider)
+        for name in self.providers:
+            get_provider(name)
+
+    @property
+    def fleet_providers(self) -> Tuple[str, ...]:
+        """Primary first, then the extras in order, de-duplicated."""
+        out = [self.provider]
+        for name in self.providers:
+            if name not in out:
+                out.append(name)
+        return tuple(out)
 
 
 @dataclass
@@ -87,6 +107,11 @@ class Scenario:
     clasp: Clasp
     #: story label -> ASN
     story_asns: Dict[str, int] = field(default_factory=dict)
+    #: One platform per fleet provider (primary first); always at
+    #: least the primary platform, shared with ``clasp.platform``.
+    fleet: Optional[CloudFleet] = None
+    #: provider name -> WAN ASN in the topology (includes the primary).
+    wan_asns: Dict[str, int] = field(default_factory=dict)
 
     # Paper region groups, re-exported for experiment code.
     us_regions: Tuple[str, ...] = PAPER_US_REGIONS
@@ -204,7 +229,9 @@ def build_scenario(seed: int = 7, scale: float = 1.0,
                    stories: bool = True,
                    budget_usd: Optional[float] = None,
                    speedtest_config: Optional[SpeedTestConfig] = None,
-                   faults: Optional[FaultPlan] = None
+                   faults: Optional[FaultPlan] = None,
+                   provider: str = "gcp",
+                   providers: Sequence[str] = ()
                    ) -> Scenario:
     """Build the full calibrated scenario.
 
@@ -212,9 +239,17 @@ def build_scenario(seed: int = 7, scale: float = 1.0,
     the schedule derives entirely from *seed*, so a scenario built
     twice with the same arguments reproduces the same faults (and the
     same dataset digest).
+
+    *provider* picks the cloud the main campaign measures from;
+    *providers* adds more clouds to the scenario's fleet for
+    cross-cloud workloads.  Non-GCP providers get their WAN grown into
+    the topology (after the catalogs are built, so server populations
+    and every GCP-only digest are unchanged); each fleet member's
+    platform shares the one simulated Internet.
     """
     config = ScenarioConfig(seed=seed, scale=scale, stories=stories,
-                            budget_usd=budget_usd, faults=faults)
+                            budget_usd=budget_usd, faults=faults,
+                            provider=provider, providers=tuple(providers))
     seeds = SeedTree(seed)
     gen = TopologyGenerator(_scaled_generator_config(scale),
                             seeds.child("net"))
@@ -228,12 +263,36 @@ def build_scenario(seed: int = 7, scale: float = 1.0,
                   if label != "cogitant"}
     catalog = build_catalog(net, _scaled_catalog_config(scale),
                             seeds.child("catalog"), ensure_asns=ensure)
+
+    # Grow non-native WANs *after* the catalogs: provider WANs join no
+    # edge-AS list, so server populations are identical either way, and
+    # a gcp-only scenario draws zero extra RNG values here.
+    wan_asns: Dict[str, int] = {}
+    for name in config.fleet_providers:
+        prov = get_provider(name)
+        if prov.wan is None:
+            wan_asns[name] = net.cloud_asn
+            continue
+        wan = prov.wan
+        as_obj = gen.add_cloud_wan(
+            net, wan.as_name, wan.city_keys, asn=wan.asn,
+            backbone_gbps=wan.backbone_gbps, n_transits=wan.n_transits,
+            transit_parallel=wan.transit_parallel,
+            mesh_degree=wan.mesh_degree)
+        wan_asns[name] = as_obj.asn
+
     clasp = Clasp.build(net, catalog, seeds.child("clasp"),
                         budget_usd=budget_usd,
                         speedtest_config=speedtest_config,
-                        fault_plan=faults)
+                        fault_plan=faults,
+                        provider=provider,
+                        cloud_asn=wan_asns[provider])
+    fleet = CloudFleet.build(
+        net, config.fleet_providers, cloud_asns=wan_asns,
+        platforms={provider: clasp.platform})
     return Scenario(config=config, seeds=seeds, internet=net,
-                    catalog=catalog, clasp=clasp, story_asns=story_asns)
+                    catalog=catalog, clasp=clasp, story_asns=story_asns,
+                    fleet=fleet, wan_asns=wan_asns)
 
 
 def apply_differential_story(scenario: Scenario,

@@ -364,15 +364,44 @@ def _imported_modules(ctx: "ModuleContext") -> Iterator[Tuple[int, str]]:
                     yield node.lineno, f"{base}.{name.name}"
 
 
+#: Provider vocabulary modules must stay leaf data: they may not pull
+#: in the orchestration layers (``repro.core`` is already above the
+#: cloud layer; ``repro.engine`` is unlayered so it needs this
+#: explicit ban).
+_PROVIDER_PACKAGE = "repro.cloud.providers"
+_PROVIDER_BANNED = ("repro.core", "repro.engine")
+
+
+def _provider_banned_import(imported: str) -> Optional[str]:
+    for banned in _PROVIDER_BANNED:
+        if imported == banned or imported.startswith(banned + "."):
+            return banned
+    return None
+
+
 @rule("RPR004", "layering-violation",
       "import that points up the layer stack; the declared order is "
-      "netsim -> cloud -> tools -> core -> experiments")
+      "netsim -> cloud -> tools -> core -> experiments (and "
+      "repro.cloud.providers may not import repro.core/repro.engine)")
 def check_layering(ctx: "ModuleContext") -> Iterator[Finding]:
     own_layer = _module_layer(ctx.module)
-    if own_layer is None:
+    is_provider = (ctx.module == _PROVIDER_PACKAGE
+                   or ctx.module.startswith(_PROVIDER_PACKAGE + "."))
+    if own_layer is None and not is_provider:
         return
     seen = set()
     for line, imported in _imported_modules(ctx):
+        if is_provider:
+            banned = _provider_banned_import(imported)
+            if banned is not None and (line, banned) not in seen:
+                seen.add((line, banned))
+                yield Finding(ctx.path, line, "RPR004",
+                              f"provider module imports {imported}; "
+                              f"{_PROVIDER_PACKAGE} is leaf vocabulary "
+                              f"and may not depend on {banned}")
+                continue
+        if own_layer is None:
+            continue
         other_layer = _module_layer(imported)
         if other_layer is None or other_layer <= own_layer:
             continue

@@ -754,6 +754,69 @@ class TopologyGenerator:
         self._rebind_router_caches(net)
         return as_obj
 
+    def add_cloud_wan(self, net: GeneratedInternet, name: str,
+                      city_keys: Sequence[str],
+                      asn: Optional[int] = None,
+                      backbone_gbps: Optional[Tuple[float, float]] = None,
+                      n_transits: int = 2,
+                      transit_parallel: Tuple[int, int] = (2, 4),
+                      mesh_degree: int = 3) -> AS:
+        """Grow another cloud provider's WAN after generation.
+
+        Mirrors the native cloud's construction in :meth:`generate`: a
+        CLOUD-type AS with wide address space, PoPs in *city_keys*, a
+        meshed backbone (skipped for a single-DC provider with one
+        city), and transit from *n_transits* tier-1s with generously
+        provisioned gateways (``congest_prob=0.02``) numbered from the
+        cloud's own space (``subnet_owner_bias=1.0``), exactly like the
+        native cloud's standard-tier transit.  No peering fabric is
+        built - providers that sell a peering-backed tier model it via
+        their tier table, not extra edges.
+
+        The new AS joins no edge-AS list, so server catalogs and
+        vantage-point populations are unaffected; a campaign that never
+        routes through the WAN produces the exact same dataset with or
+        without it.  Returns the new AS; callers hand ``as_obj.asn`` to
+        :class:`~repro.cloud.api.CloudPlatform` as ``cloud_asn``.
+        """
+        topo = net.topology
+        util = net.utilization
+        if asn is not None and asn in topo.ases:
+            raise TopologyError(
+                f"ASN {asn} is already present in this topology")
+        cities = [self.cities.get(k) for k in city_keys]
+        if not cities:
+            raise TopologyError(f"WAN {name!r} needs at least one city")
+        as_obj = AS(asn=asn if asn is not None else self._take_asn(),
+                    name=name, as_type=ASType.CLOUD,
+                    country=cities[0].country)
+        topo.add_as(as_obj)
+        self._allocate_space(as_obj, net.infra_allocators, {}, wide=True)
+        self._place_pops(topo, net.infra_allocators, as_obj, cities)
+        if len(cities) > 1:
+            self._build_backbone(
+                topo, util, as_obj,
+                backbone_gbps or self.config.cloud_backbone_gbps,
+                mesh_degree=mesh_degree, base_range=(0.20, 0.40))
+        tier1s = [topo.as_of(t1_asn) for t1_asn in net.tier1_asns]
+        if not tier1s:
+            raise TopologyError("no tier-1 carriers to buy transit from")
+        n_providers = max(1, min(n_transits, len(tier1s)))
+        provider_idx = self._rng.choice(len(tier1s), size=n_providers,
+                                        replace=False)
+        for idx in provider_idx:
+            self._connect_interdomain(
+                topo, util, as_obj, tier1s[int(idx)],
+                RelationshipKind.CUSTOMER_TO_PROVIDER,
+                n_cities=max(1, min(len(cities),
+                                    int(self._rng.integers(2, 6)))),
+                parallel=transit_parallel,
+                capacity_range=self.config.transit_interconnect_gbps,
+                congest_prob=0.02,
+                subnet_owner_bias=1.0)
+        self._rebind_router_caches(net)
+        return as_obj
+
     @staticmethod
     def _rebind_router_caches(net: GeneratedInternet) -> None:
         """Topology changed post-generation; flag for router rebuilds.

@@ -14,10 +14,12 @@ from .ascii import (
     sparkline,
 )
 from .figures import FigureSeries, figure_to_text
+from .crosscloud import render_matrix, render_provider_choice
 
 __all__ = [
     "TextTable", "format_percent",
     "ascii_cdf", "ascii_histogram", "ascii_series",
     "render_cdf", "render_series", "sparkline",
     "FigureSeries", "figure_to_text",
+    "render_matrix", "render_provider_choice",
 ]

@@ -1,0 +1,84 @@
+"""Text rendering for cross-cloud results.
+
+:func:`render_matrix` prints the CloudCast-style ordered-pair matrix
+as two tables (per-pair cells, per-provider-pair medians);
+:func:`render_provider_choice` prints which provider wins which
+<city, AS> tuples plus the selected server list.  Both consume the
+dataclasses from :mod:`repro.core.crosscloud` and return plain
+strings, matching the rest of :mod:`repro.report`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .tables import TextTable, format_percent
+
+__all__ = ["render_matrix", "render_provider_choice"]
+
+
+def render_matrix(matrix, max_rows: int = 64) -> str:
+    """The full cell table plus a provider-pair summary."""
+    cells = TextTable(
+        ["src", "dst", "rtt_ms", "loss", "tput_mbps", "x-cloud"],
+        title=(f"cross-cloud matrix: {len(matrix.endpoints)} endpoints "
+               f"({', '.join(matrix.providers)}), "
+               f"{matrix.n_pairs} ordered pairs"))
+    shown = matrix.cells[:max_rows]
+    for c in shown:
+        cells.add_row([
+            f"{c.src_provider}/{c.src_region}",
+            f"{c.dst_provider}/{c.dst_region}",
+            c.rtt_ms if c.reachable else "unreach",
+            format_percent(c.loss_rate, 2) if c.reachable else "-",
+            c.throughput_mbps if c.reachable else "-",
+            "yes" if c.cross_provider else "",
+        ])
+    parts: List[str] = [cells.render()]
+    if len(matrix.cells) > max_rows:
+        parts.append(f"... {len(matrix.cells) - max_rows} more pairs")
+
+    summary = TextTable(
+        ["src provider", "dst provider", "pairs", "median rtt_ms",
+         "median tput_mbps"],
+        title="per provider pair (reachable cells)")
+    for (src, dst), stats in matrix.provider_pair_summary().items():
+        summary.add_row([src, dst, int(stats["n_pairs"]),
+                         stats["median_rtt_ms"],
+                         stats["median_throughput_mbps"]])
+    parts.append("")
+    parts.append(summary.render())
+    unreachable = sum(1 for c in matrix.cells if not c.reachable)
+    if unreachable:
+        parts.append(f"unreachable pairs: {unreachable}")
+    return "\n".join(parts)
+
+
+def render_provider_choice(choice) -> str:
+    """Winner counts and the differential selection, as text."""
+    counts = choice.winner_counts()
+    head = TextTable(
+        ["outcome", "tuples"],
+        title=(f"provider choice {choice.label}: "
+               f"{choice.provider_a}@{choice.region_a} vs "
+               f"{choice.provider_b}@{choice.region_b}, "
+               f"{len(choice.selection.candidates)} candidate tuples"))
+    head.add_row([f"{choice.provider_a} lower",
+                  counts[choice.provider_a]])
+    head.add_row([f"{choice.provider_b} lower",
+                  counts[choice.provider_b]])
+    head.add_row(["comparable", counts["comparable"]])
+
+    picks = TextTable(
+        ["server", "city", "asn", "class",
+         f"{choice.provider_a}_ms", f"{choice.provider_b}_ms",
+         "delta_ms"],
+        title=f"selected servers ({len(choice.selection.selected)})")
+    class_labels = {"premium_lower": f"{choice.provider_a} lower",
+                    "standard_lower": f"{choice.provider_b} lower",
+                    "comparable": "comparable"}
+    for server, cand in choice.selection.selected:
+        picks.add_row([server.server_id, server.city_key, cand.asn,
+                       class_labels[cand.latency_class.value],
+                       cand.premium_ms, cand.standard_ms, cand.delta_ms])
+    return head.render() + "\n\n" + picks.render()

@@ -55,25 +55,31 @@ def partition_lanes(lanes: Sequence[Lane],
                     shards: int) -> List[List[Lane]]:
     """Split lanes across at most *shards* workers, regions intact.
 
-    Regions are numbered in first-appearance order and dealt
-    round-robin, so when there are at least as many regions as shards
-    every region's lanes stay together (its replay-side billing and
-    storage interleavings then match the inline run trivially).  With
-    fewer regions than shards the split falls back to lane round-robin.
+    Lanes are grouped by ``(provider, region)`` - in a single-provider
+    campaign this degenerates to plain region grouping, so the
+    partition (and therefore every digest) is unchanged from before
+    fleets existed.  Groups are numbered in first-appearance order and
+    dealt round-robin, so when there are at least as many groups as
+    shards every group's lanes stay together (its replay-side billing
+    and storage interleavings then match the inline run trivially),
+    and mixed fleets never share a lane group across clouds.  With
+    fewer groups than shards the split falls back to lane round-robin.
     Empty shards are dropped; global lane order is preserved within
     each shard.
     """
     if shards < 1:
         raise ValidationError(f"shards must be >= 1, got {shards}")
-    regions: List[str] = []
+    groups: List[Tuple[str, str]] = []
     for lane in lanes:
-        if lane.region not in regions:
-            regions.append(lane.region)
-    by_region = len(regions) >= shards
+        key = (getattr(lane.plan, "provider", "gcp"), lane.region)
+        if key not in groups:
+            groups.append(key)
+    by_group = len(groups) >= shards
     buckets: List[List[Lane]] = [[] for _ in range(shards)]
     for gidx, lane in enumerate(lanes):
-        if by_region:
-            idx = regions.index(lane.region) % shards
+        if by_group:
+            key = (getattr(lane.plan, "provider", "gcp"), lane.region)
+            idx = groups.index(key) % shards
         else:
             idx = gidx % shards
         buckets[idx].append(lane)
@@ -309,7 +315,8 @@ def run_sharded(runner: CampaignRunner, plans: Sequence[Any],
         merged = merge_streams(streams)
         obs.inc("shard.merged_events", float(len(merged)))
 
-        dataset = CampaignDataset(cfg.start_ts, cfg.end_ts)
+        dataset = CampaignDataset(cfg.start_ts, cfg.end_ts,
+                                  provider=runner.platform.provider.name)
         runner.register_metadata(dataset, plans)
         bus = runner.compose_bus(
             cfg, dataset, observers,

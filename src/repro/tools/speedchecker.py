@@ -11,13 +11,13 @@ diurnal queueing is represented in the medians.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cloud.api import CloudPlatform, Direction
-from ..cloud.tiers import NetworkTier
 from ..errors import NoRouteError, ValidationError
 from ..rng import SeedTree
 from ..simclock import CAMPAIGN_START
@@ -43,7 +43,7 @@ class LatencySample:
     asn: int
     city_key: str
     region: str
-    tier: NetworkTier
+    tier: enum.Enum
     rtt_ms: float
     ts: float
 
@@ -55,7 +55,7 @@ class TupleMedian:
     asn: int
     city_key: str
     region: str
-    tier: NetworkTier
+    tier: enum.Enum
     median_rtt_ms: float
     n_samples: int
 
@@ -116,27 +116,36 @@ class Speedchecker:
                 samples_per_tuple: int = 120,
                 start_ts: float = CAMPAIGN_START,
                 span_days: int = 5,
-                min_samples: int = 100) -> List[TupleMedian]:
+                min_samples: int = 100,
+                tiers: Optional[Sequence[enum.Enum]] = None,
+                name_prefix: str = "speedchecker") -> List[TupleMedian]:
         """Run the preliminary latency study.
 
-        Creates one premium and one standard VM per region, probes every
-        VP *samples_per_tuple* times at hours spread over *span_days*,
-        and returns the per-tuple medians with at least *min_samples*
-        (some probes fail to route or time out).
+        Creates one VM per (region, tier) - on GCP that is the premium
+        + standard pair - probes every VP *samples_per_tuple* times at
+        hours spread over *span_days*, and returns the per-tuple
+        medians with at least *min_samples* (some probes fail to route
+        or time out).  *tiers* restricts the study to a subset of the
+        provider's tiers (the cross-cloud provider-choice study probes
+        one tier per provider); *name_prefix* keeps a second study on
+        the same platform from colliding with the first one's VM names.
         """
+        study_tiers = tuple(tiers if tiers is not None
+                            else self.platform.provider.tiers)
+        probe_mtype = self.platform.provider.probe_machine_type
         vps = self.vantage_points()
         out: List[TupleMedian] = []
         for region in region_names:
             vms = {}
-            for tier in NetworkTier:
+            for tier in study_tiers:
                 vms[tier] = self.platform.create_vm(
-                    region, "e2-small", tier, start_ts,
-                    name=f"speedchecker-{region}-{tier.value}")
+                    region, probe_mtype, tier, start_ts,
+                    name=f"{name_prefix}-{region}-{tier.value}")
             try:
                 for vp in vps:
                     probe_times = (start_ts + self._rng.uniform(
                         0, span_days * DAY, size=samples_per_tuple))
-                    for tier in NetworkTier:
+                    for tier in study_tiers:
                         samples: List[float] = []
                         for ts in probe_times:
                             # ~4% of probes are lost at the edge.
@@ -153,7 +162,7 @@ class Speedchecker:
                             median_rtt_ms=float(np.median(samples)),
                             n_samples=len(samples)))
             finally:
-                for tier in NetworkTier:
+                for tier in study_tiers:
                     self.platform.terminate_vm(vms[tier].name,
                                                start_ts + span_days * DAY)
         return out

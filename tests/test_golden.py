@@ -70,3 +70,21 @@ def test_golden_faults_change_the_digest(golden):
     """Faults on vs off must not collide (the plans differ, so the
     datasets must too)."""
     assert golden["faults_off"] != golden["faults_default"]
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("batch", [False, True])
+def test_golden_explicit_gcp_provider(golden, shards, batch):
+    """``provider="gcp"`` routed through the provider abstraction must
+    reproduce the pre-refactor digest byte-for-byte, for every
+    execution mode (sharded, vectorized, both)."""
+    scenario = build_scenario(seed=SEED, scale=SCALE, provider="gcp")
+    assert scenario.clasp.platform.provider.name == "gcp"
+    clasp = scenario.clasp
+    selection = clasp.select_topology_servers(REGION)
+    plan = clasp.deploy_topology(REGION, selection,
+                                 budget_servers=BUDGET_SERVERS)
+    dataset = clasp.run_campaign([plan], days=DAYS,
+                                 shards=shards, batch=batch)
+    assert dataset.provider == "gcp"
+    assert dataset_digest(dataset) == golden["faults_off"]

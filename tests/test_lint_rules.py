@@ -222,6 +222,32 @@ def test_same_layer_import_allowed():
     """, module="repro.netsim.routing") == []
 
 
+def test_provider_importing_engine_flagged():
+    assert codes_of("""
+        from repro.engine import events
+    """, module="repro.cloud.providers.fixture") == ["RPR004"]
+
+
+def test_provider_importing_core_flagged():
+    assert codes_of("""
+        import repro.core.campaign
+    """, module="repro.cloud.providers.fixture") == ["RPR004"]
+
+
+def test_provider_relative_engine_import_flagged():
+    assert codes_of("""
+        from ...engine import events
+    """, module="repro.cloud.providers.fixture") == ["RPR004"]
+
+
+def test_provider_sibling_imports_allowed():
+    assert codes_of("""
+        from repro.cloud.regions import Region
+        from .base import CloudProvider
+        from repro.errors import ProviderLookupError
+    """, module="repro.cloud.providers.fixture") == []
+
+
 # -- RPR005 bare except -----------------------------------------------------
 
 def test_bare_except_flagged():

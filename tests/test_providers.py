@@ -1,0 +1,163 @@
+"""Provider conformance suite.
+
+Every registered :class:`CloudProvider` - current and future - must
+satisfy the same contract: total tier routing over its own tier
+vocabulary, failing lookups that raise :class:`ValidationError`,
+non-negative billing, and a campaign that runs end to end.  The suite
+is parametrized over the registry, so adding a provider automatically
+subjects it to all of these.
+"""
+
+import pytest
+
+from repro.cloud import (CloudPlatform, Direction, PROVIDERS, PriceBook,
+                         get_provider, resolve_tier)
+from repro.cloud.billing import CostTracker
+from repro.cloud.providers import GCP
+from repro.errors import (CloudError, ProviderLookupError, SchedulingError,
+                          ValidationError)
+
+ALL = sorted(PROVIDERS)
+
+
+# -- registry ---------------------------------------------------------------
+
+def test_registry_contains_the_three_clouds():
+    assert set(ALL) == {"gcp", "aws", "openstack"}
+
+
+def test_registry_is_frozen():
+    with pytest.raises(TypeError):
+        PROVIDERS["other"] = GCP
+
+
+def test_get_provider_default_is_gcp():
+    assert get_provider() is GCP
+    assert get_provider(None) is GCP
+    assert get_provider(GCP) is GCP
+
+
+def test_get_provider_unknown_name():
+    with pytest.raises(ProviderLookupError):
+        get_provider("azure")
+
+
+def test_lookup_error_is_both_cloud_and_validation_error():
+    assert issubclass(ProviderLookupError, ValidationError)
+    assert issubclass(ProviderLookupError, CloudError)
+
+
+# -- per-provider contract --------------------------------------------------
+
+@pytest.mark.parametrize("name", ALL)
+def test_failing_lookups_raise_validation_error(name):
+    provider = PROVIDERS[name]
+    with pytest.raises(ValidationError):
+        provider.region("atlantis-central9")
+    with pytest.raises(ValidationError):
+        provider.machine_type("quantum-mega-1")
+    with pytest.raises(ValidationError):
+        provider.tier_by_value("no-such-tier")
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_tier_table_is_total_over_own_vocabulary(name):
+    provider = PROVIDERS[name]
+    assert provider.tiers, "a provider needs at least one tier"
+    for direction in Direction:
+        for tier in provider.tiers:
+            route = provider.tier_route(direction, tier)
+            assert len(route) == 3
+    foreign = (GCP if name != "gcp" else PROVIDERS["aws"]).tiers[0]
+    with pytest.raises(ValidationError):
+        provider.tier_route(Direction.EGRESS, foreign)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_defaults_resolve_within_the_provider(name):
+    provider = PROVIDERS[name]
+    assert provider.region(provider.default_region)
+    assert provider.machine_type(provider.default_machine_type)
+    assert provider.machine_type(provider.probe_machine_type)
+    assert provider.measurement_tier in provider.tiers
+    if provider.differential_tiers is not None:
+        for tier in provider.differential_tiers:
+            assert tier in provider.tiers
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_rate_card_is_non_negative(name):
+    book = PROVIDERS[name].price_book
+    assert book.storage_per_gb_month >= 0.0
+    assert book.intra_region_per_gb >= 0.0
+    for rate in book.egress_per_gb.values():
+        assert rate >= 0.0
+    for tier in PROVIDERS[name].tiers:
+        assert book.egress_usd(10 * 1024 ** 3, tier) >= 0.0
+    for mtype in PROVIDERS[name].machine_types.values():
+        assert mtype.hourly_usd >= 0.0
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_billing_settles_non_negative(name):
+    provider = PROVIDERS[name]
+    costs = CostTracker(prices=provider.price_book)
+    costs.charge_vm_hours(0.05, 24.0)
+    costs.charge_egress(5 * 1024 ** 3, provider.measurement_tier)
+    costs.charge_storage(2_000_000, 0.5)
+    assert costs.total_usd >= 0.0
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_resolve_tier_roundtrips(name):
+    provider = PROVIDERS[name]
+    for tier in provider.tiers:
+        assert resolve_tier(tier.value, name) is tier
+        assert resolve_tier(tier.value, provider) is tier
+
+
+def test_resolve_tier_legacy_prefers_gcp():
+    # "standard" exists in both GCP's and AWS's vocabulary; datasets
+    # written before the provider key must keep reading as GCP.
+    from repro.cloud.tiers import NetworkTier
+    assert resolve_tier("standard") is NetworkTier.STANDARD
+
+
+# -- campaign smoke ---------------------------------------------------------
+
+@pytest.fixture(scope="module", params=ALL)
+def provider_scenario(request):
+    from repro.experiments.scenario import build_scenario
+    scenario = build_scenario(seed=11, scale=0.05, stories=False,
+                              provider=request.param)
+    return request.param, scenario
+
+
+def test_campaign_smoke(provider_scenario):
+    """A one-day campaign runs end to end on every provider and tags
+    its dataset, events, and billing with the provider's name."""
+    name, scenario = provider_scenario
+    clasp = scenario.clasp
+    provider = clasp.platform.provider
+    assert provider.name == name
+    region = provider.default_region
+    selection = clasp.select_topology_servers(region)
+    plan = clasp.deploy_topology(region, selection, budget_servers=4)
+    assert plan.provider == name
+    dataset = clasp.run_campaign([plan], days=1)
+    assert dataset.provider == name
+    assert dataset.completed_tests > 0
+    assert clasp.total_cost_usd() >= 0.0
+
+
+def test_differential_needs_two_tiers(provider_scenario):
+    """Providers without a differential tier pair refuse the
+    differential deployment instead of mis-deploying it."""
+    name, scenario = provider_scenario
+    clasp = scenario.clasp
+    provider = clasp.platform.provider
+    if provider.differential_tiers is not None:
+        pytest.skip("provider supports differential deployments")
+    with pytest.raises(SchedulingError):
+        clasp.orchestrator.deploy_differential(
+            provider.default_region, ["ookla-00001"], 0.0)
