@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint lint-graph test golden bench-shard
+.PHONY: check lint lint-graph test golden bench-shard bench-streaming
 
 check:
 	$(PYTHON) scripts/check.py
@@ -25,3 +25,7 @@ golden:
 # Regenerate BENCH_campaign.json (the shards x batch perf trajectory).
 bench-shard:
 	PYTHONPATH=src $(PYTHON) -m pytest -q -p no:cacheprovider benchmarks/bench_shard_scale.py
+
+# Re-anchor the streaming_detect point (incremental vs rescan + serving).
+bench-streaming:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -p no:cacheprovider benchmarks/bench_streaming.py

@@ -7,10 +7,12 @@ focused ``--select`` step: that exercises RPR009's allowlist-liveness
 check against the :mod:`repro.shard` module in isolation, so a stale
 shared-state allowlist entry fails the build even if some other rule's
 cache masked it.  The shard-equivalence suite (``tests/test_shard.py``,
-byte-identical digests across shards x batch) and the provider
+byte-identical digests across shards x batch), the provider
 conformance suite (``tests/test_providers.py``, every registered
-cloud provider against the shared contract) then gate the run before
-the full test suite.
+cloud provider against the shared contract), and the streaming
+equivalence suite (``tests/test_streaming.py``, incremental detection
+== batch ``detect()`` across fault plans x shard counts) then gate
+the run before the full test suite.
 
 Coverage enforcement for ``repro.faults``, ``repro.engine``,
 ``repro.obs``, and ``repro.shard`` (configured in pyproject.toml,
@@ -86,6 +88,12 @@ def main() -> int:
     status = _run("provider conformance gate", [
         sys.executable, "-m", "pytest", "-q", "-x",
         "tests/test_providers.py"])
+    if status != 0:
+        return status
+
+    status = _run("streaming equivalence gate", [
+        sys.executable, "-m", "pytest", "-q", "-x",
+        "tests/test_streaming.py"])
     if status != 0:
         return status
 

@@ -1,13 +1,15 @@
 #!/usr/bin/env python
-"""Regenerate the golden dataset digests under ``tests/golden/``.
+"""Regenerate the golden fixtures under ``tests/golden/``.
 
 Run from the repo root::
 
     PYTHONPATH=src python scripts/regen_golden.py
 
-Only commit the result when a behaviour change was *intentional*: the
-digests are the determinism contract that makes silent drift in the
-campaign pipeline a tier-1 failure.
+Writes the campaign dataset digests (``digests.json``) and the pinned
+congestion-detection output (``congestion_detection.json``).  Only
+commit the result when a behaviour change was *intentional*: the
+fixtures are the determinism contract that makes silent drift in the
+campaign pipeline or the detector a tier-1 failure.
 """
 
 from __future__ import annotations
@@ -16,15 +18,21 @@ import json
 import pathlib
 import sys
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
-                       / "src"))
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+sys.path.insert(0, str(_ROOT))
 
+from repro.core.congestion import detect               # noqa: E402
 from repro.core.export import dataset_digest          # noqa: E402
 from repro.experiments.scenario import build_scenario  # noqa: E402
 from repro.faults import FaultPlan                     # noqa: E402
 
-GOLDEN_PATH = (pathlib.Path(__file__).resolve().parent.parent
-               / "tests" / "golden" / "digests.json")
+from tests.fixtures_congestion import (                # noqa: E402
+    regression_dataset, serialize_report)
+
+GOLDEN_PATH = _ROOT / "tests" / "golden" / "digests.json"
+DETECTION_PATH = (_ROOT / "tests" / "golden"
+                  / "congestion_detection.json")
 
 #: The pinned campaign shape.  Keep in sync with tests/test_golden.py.
 SEED = 11
@@ -59,6 +67,20 @@ def main() -> int:
                            encoding="utf-8")
     print(json.dumps(golden, indent=1))
     print(f"wrote {GOLDEN_PATH}")
+
+    detection = {
+        "_comment": "Pinned detect() output over the multi-offset, "
+                    "non-midnight-start dataset from "
+                    "tests/fixtures_congestion.py: the "
+                    "midnight-alignment contract. Regenerate with "
+                    "scripts/regen_golden.py only when an intentional "
+                    "behaviour change shifts detection.",
+        "report": serialize_report(detect(regression_dataset(),
+                                          threshold=0.5)),
+    }
+    DETECTION_PATH.write_text(json.dumps(detection, indent=1) + "\n",
+                              encoding="utf-8")
+    print(f"wrote {DETECTION_PATH}")
     return 0
 
 

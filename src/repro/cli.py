@@ -15,6 +15,12 @@ Subcommands:
   default and reproduces the paper), ``--providers A,B`` adds more
   clouds to the fleet, and ``--matrix`` runs the cross-cloud VM-pair
   matrix plus the provider-choice analysis instead of a campaign.
+* ``serve`` - run a campaign as an always-on monitor: the incremental
+  streaming detector rides the event bus, a TTL-cached
+  :class:`~repro.serve.MonitorService` answers simulated dashboard
+  traffic (``--consumers`` queries per hour), and the final state /
+  serving metrics print as a summary table, Prometheus text, or JSON
+  lines (``--format state|prom|jsonl``).
 * ``world`` - generate a scenario and print its inventory.
 * ``cost`` - estimate the cloud bill for a campaign shape.
 * ``obs`` - run an instrumented campaign with :mod:`repro.obs` enabled
@@ -115,8 +121,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the campaign; run the cross-cloud "
                              "VM-pair matrix and the provider-choice "
                              "analysis over the fleet instead")
+    p_camp.add_argument("--stream", action="store_true",
+                        help="attach the incremental streaming detector "
+                             "to the event bus and verify its finalized "
+                             "report equals batch detection")
     profile_opt(p_camp)
     common(p_camp)
+
+    p_serve = sub.add_parser("serve",
+                             help="run a campaign as an always-on "
+                                  "monitor with cached query serving")
+    p_serve.add_argument("--region", default="us-west1")
+    p_serve.add_argument("--servers", type=int, default=8,
+                         help="server budget for the deployment")
+    p_serve.add_argument("--faults", choices=("off", "default", "heavy"),
+                         default="off",
+                         help="fault-injection plan (seed-deterministic)")
+    p_serve.add_argument("--window-days", type=int, default=None,
+                         help="sliding window for the live congested "
+                              "label (default: all sealed days)")
+    p_serve.add_argument("--consumers", type=int, default=100_000,
+                         help="simulated dashboard queries per hour")
+    p_serve.add_argument("--ttl-hours", type=float, default=1.0,
+                         help="snapshot cache TTL in simulated hours")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="partition lanes across N sharded "
+                              "executors")
+    p_serve.add_argument("--format",
+                         choices=("summary", "state", "prom", "jsonl"),
+                         default="summary", dest="fmt",
+                         help="summary = text table + congested list, "
+                              "state = live-state JSON document, "
+                              "prom = Prometheus text, jsonl = JSON "
+                              "lines")
+    common(p_serve)
 
     p_obs = sub.add_parser("obs",
                            help="run an instrumented campaign and dump "
@@ -261,6 +299,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.trace:
             trace = TraceObserver(args.trace)
             observers.append(trace)
+        stream_detector = None
+        if args.stream:
+            stream_detector, stream_observer = clasp.streaming_detector()
+            observers.append(stream_observer)
         try:
             dataset = clasp.run_campaign([plan], days=args.days,
                                          observers=observers,
@@ -296,6 +338,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             table.add_row([f"  injected {kind}", count])
     table.add_row(["dataset digest", dataset_digest(dataset)[:16]])
     table.add_row(["cloud bill", f"${clasp.total_cost_usd():,.2f}"])
+    if stream_detector is not None:
+        from repro.core.congestion import detect
+        streamed = stream_detector.finalize()
+        batch = detect(dataset)
+        table.add_row(["stream V_H events", len(streamed.events)])
+        table.add_row(["stream congested servers",
+                       len(streamed.congested_pairs())])
+        table.add_row(["stream late-dropped",
+                       stream_detector.late_dropped])
+        table.add_row(["stream == batch detect",
+                       "yes" if streamed == batch else "NO"])
     print(table.render())
     if metrics is not None:
         snapshot = metrics.snapshot()
@@ -336,6 +389,59 @@ def _cmd_matrix(args: argparse.Namespace, extras: tuple) -> int:
                                  primary, other, seed=args.seed)
         print()
         print(render_provider_choice(choice))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments import build_scenario
+    from repro.faults import FaultPlan
+    from repro.report.tables import TextTable
+    from repro.rng import SeedTree
+    from repro.serve import ConsumerLoadObserver, MonitorService
+    from repro.units import HOUR
+
+    plans = {"off": None, "default": FaultPlan.default(),
+             "heavy": FaultPlan.heavy()}
+    scenario = build_scenario(seed=args.seed, scale=args.scale,
+                              faults=plans[args.faults])
+    clasp = scenario.clasp
+    selection = clasp.select_topology_servers(args.region)
+    plan = clasp.deploy_topology(args.region, selection,
+                                 budget_servers=args.servers)
+    detector, observer = clasp.streaming_detector(
+        window_days=args.window_days)
+    service = MonitorService(detector, ttl_s=args.ttl_hours * HOUR)
+    load = ConsumerLoadObserver(service,
+                                SeedTree(args.seed).child("serve"),
+                                consumers_per_hour=args.consumers)
+    clasp.run_campaign([plan], days=args.days,
+                       observers=[observer, load], shards=args.shards)
+    if args.fmt == "state":
+        print(service.state_json(now_ts=detector.watermark))
+        return 0
+    if args.fmt == "prom":
+        print(service.prometheus(), end="")
+        return 0
+    if args.fmt == "jsonl":
+        print(service.json_lines(), end="")
+        return 0
+    report = service.load_report()
+    table = TextTable(["metric", "value"],
+                      title=f"monitor service: {args.region}, "
+                            f"{args.days} days, {args.consumers:,} "
+                            f"consumers/hour")
+    table.add_row(["pairs tracked", len(detector.pairs())])
+    table.add_row(["congested now", len(detector.congested_pairs())])
+    table.add_row(["sealed pair-days", detector.sealed_days])
+    table.add_row(["observations", detector.observed])
+    table.add_row(["late dropped", detector.late_dropped])
+    table.add_row(["snapshot version", detector.version])
+    table.add_row(["queries served", f"{report.queries:,}"])
+    table.add_row(["cache hit rate", f"{report.hit_rate:.4f}"])
+    table.add_row(["mean staleness", f"{report.mean_staleness_s:.0f} s"])
+    print(table.render())
+    for pair in detector.congested_pairs():
+        print(f"congested: {'/'.join(pair)}")
     return 0
 
 
@@ -452,6 +558,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "experiment": _cmd_experiment,
     "quickloop": _cmd_quickloop,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
     "obs": _cmd_obs,
     "world": _cmd_world,
     "cost": _cmd_cost,

@@ -19,7 +19,14 @@ from .congestion import (
     daily_variability,
     hourly_variability,
     choose_threshold_elbow,
+    midnight_day_index,
     threshold_sweep,
+)
+from .streaming import (
+    PairCongestionState,
+    StreamingCongestionDetector,
+    StreamingDetectorObserver,
+    stream_dataset,
 )
 from .analysis import (
     TierComparison,
@@ -53,7 +60,9 @@ __all__ = [
     "AnalysisPipeline",
     "CongestionEvent", "CongestionReport",
     "daily_variability", "hourly_variability",
-    "choose_threshold_elbow", "threshold_sweep",
+    "choose_threshold_elbow", "midnight_day_index", "threshold_sweep",
+    "PairCongestionState", "StreamingCongestionDetector",
+    "StreamingDetectorObserver", "stream_dataset",
     "TierComparison", "congestion_probability",
     "congested_server_summary", "performance_scatter", "tier_comparison",
     "TopologySelection", "TopologySelector",

@@ -215,6 +215,27 @@ class Clasp:
     # ------------------------------------------------------------------
     # analysis
 
+    def streaming_detector(self, threshold: float = PAPER_THRESHOLD,
+                           metric: str = "download",
+                           window_days: Optional[int] = None,
+                           lateness_hours: float = 0.0,
+                           start_ts: float = float(CAMPAIGN_START)):
+        """A live detector + bus observer pair for this stack.
+
+        Offsets resolve through the same catalog/topology city table
+        :meth:`CampaignRunner.register_metadata` uses, so the observer
+        can be built before any dataset exists and subscribed to
+        :meth:`run_campaign` via ``observers=[observer]``.
+        """
+        from .streaming import (StreamingCongestionDetector,
+                                StreamingDetectorObserver, catalog_offsets)
+        detector = StreamingCongestionDetector(
+            start_ts,
+            catalog_offsets(self.catalog, self.platform.topology),
+            threshold=threshold, metric=metric,
+            window_days=window_days, lateness_hours=lateness_hours)
+        return detector, StreamingDetectorObserver(detector)
+
     def detect_congestion(self, dataset: CampaignDataset,
                           threshold: float = PAPER_THRESHOLD,
                           region: Optional[str] = None,

@@ -11,13 +11,21 @@ A day (an *s-day*) is congested when ``V > H``; an hour (an *s-hour*)
 when ``V_H > H``.  The threshold ``H`` is chosen with the elbow method
 on the s-day curve, constrained to label a reasonable portion (<30 %)
 of s-days; the paper lands on ``H = 0.5``.  Days are bucketed in the
-*test server's* local time.
+*test server's* local time, aligned to local midnight
+(:func:`midnight_day_index`), so day boundaries are calendar days
+regardless of when the campaign started.
+
+The per-day arithmetic lives in :func:`summarize_day`, which is shared
+verbatim by the batch :func:`detect` pass and the incremental
+:class:`repro.core.streaming.StreamingCongestionDetector` - that is
+what makes the streaming finalize/batch equivalence contract hold
+bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +41,9 @@ __all__ = [
     "DayRecord",
     "CongestionEvent",
     "CongestionReport",
+    "DaySummary",
+    "midnight_day_index",
+    "summarize_day",
     "pair_daily_records",
     "daily_variability",
     "hourly_variability",
@@ -50,6 +61,26 @@ PAPER_THRESHOLD = 0.5
 MIN_SAMPLES_PER_DAY = 8
 
 PairKey = Tuple[str, str, str]  # (region, server_id, tier)
+
+
+def midnight_day_index(ts: Union[float, np.ndarray],
+                       utc_offset_hours: float,
+                       start_ts: float) -> Union[int, np.ndarray]:
+    """Local-midnight-aligned day index relative to the campaign start.
+
+    Day 0 is the local calendar day containing *start_ts*; boundaries
+    fall on the server's local midnight regardless of the campaign's
+    start time.  Any ``ts >= start_ts`` therefore maps to a
+    non-negative index, including for west-of-UTC servers (the old
+    start-anchored bucketing produced ``day_index = -1`` for their
+    first local hours and split days at arbitrary local times when a
+    campaign did not start at local midnight).
+    """
+    local = ts + utc_offset_hours * HOUR
+    origin_day = int((start_ts + utc_offset_hours * HOUR) // DAY)
+    if isinstance(local, np.ndarray):
+        return (local // DAY).astype(int) - origin_day
+    return int(local // DAY) - origin_day
 
 
 @dataclass(frozen=True)
@@ -83,6 +114,50 @@ class CongestionEvent:
     day_peak_mbps: float
 
 
+@dataclass(frozen=True)
+class DaySummary:
+    """Everything :func:`detect` needs from one pair-day bucket."""
+
+    #: ``None`` when the day has fewer than ``min_samples`` samples.
+    record: Optional[DayRecord]
+    #: Hours counted toward ``pair_hours`` (zero for skipped or
+    #: degenerate all-zero days, matching :func:`hourly_variability`).
+    measured_hours: int
+    events: Tuple[CongestionEvent, ...]
+
+
+def summarize_day(pair: PairKey, utc_offset_hours: float, day: int,
+                  ts: np.ndarray, values: np.ndarray,
+                  threshold: float = PAPER_THRESHOLD,
+                  min_samples: int = MIN_SAMPLES_PER_DAY) -> DaySummary:
+    """Record, measured-hour count, and events for one day bucket.
+
+    *ts*/*values* must be the day's samples sorted by timestamp
+    (ties in original arrival order).  This is the single shared
+    per-day implementation: the batch pass feeds it buckets from the
+    dataset table, the streaming detector feeds it sealed in-memory
+    buckets, and both get identical floating-point results.
+    """
+    if len(values) < min_samples:
+        return DaySummary(record=None, measured_hours=0, events=())
+    record = DayRecord(
+        pair=pair, day_index=day, n_samples=len(values),
+        t_max=float(values.max()), t_min=float(values.min()))
+    peak = float(values.max())
+    if peak <= 0:
+        return DaySummary(record=record, measured_hours=0, events=())
+    vh = (peak - values) / peak
+    events = []
+    for i in np.nonzero(vh > threshold)[0]:
+        local_hour = int(((ts[i] + utc_offset_hours * HOUR) // HOUR) % 24)
+        events.append(CongestionEvent(
+            pair=pair, ts=float(ts[i]), local_hour=local_hour,
+            day_index=day, v_h=float(vh[i]),
+            throughput_mbps=float(values[i]), day_peak_mbps=peak))
+    return DaySummary(record=record, measured_hours=len(values),
+                      events=tuple(events))
+
+
 @dataclass
 class CongestionReport:
     """Full detection output for one metric/threshold."""
@@ -93,6 +168,20 @@ class CongestionReport:
     events: List[CongestionEvent] = field(default_factory=list)
     #: pair -> number of measured hours
     pair_hours: Dict[PairKey, int] = field(default_factory=dict)
+
+    # Lazily built per-pair indices; keyed on the list lengths so a
+    # report that grows after a query (the streaming path appends to
+    # these lists between snapshots) rebuilds instead of serving stale
+    # answers.  Excluded from equality/repr: two reports with the same
+    # findings compare equal whether or not either was ever queried.
+    _events_by_pair: Optional[Dict[PairKey, List[CongestionEvent]]] = \
+        field(default=None, init=False, repr=False, compare=False)
+    _event_days_by_pair: Optional[Dict[PairKey, Set[int]]] = \
+        field(default=None, init=False, repr=False, compare=False)
+    _measured_days_by_pair: Optional[Dict[PairKey, int]] = \
+        field(default=None, init=False, repr=False, compare=False)
+    _index_key: Tuple[int, int] = \
+        field(default=(-1, -1), init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
 
@@ -122,15 +211,39 @@ class CongestionReport:
             return 0.0
         return len(self.events) / total
 
+    def _ensure_index(self) -> None:
+        """(Re)build the per-pair indices when the lists have grown."""
+        key = (len(self.events), len(self.day_records))
+        if self._index_key == key:
+            return
+        events_by: Dict[PairKey, List[CongestionEvent]] = {}
+        event_days: Dict[PairKey, Set[int]] = {}
+        for event in self.events:
+            events_by.setdefault(event.pair, []).append(event)
+            event_days.setdefault(event.pair, set()).add(event.day_index)
+        measured: Dict[PairKey, int] = {}
+        for record in self.day_records:
+            measured[record.pair] = measured.get(record.pair, 0) + 1
+        self._events_by_pair = events_by
+        self._event_days_by_pair = event_days
+        self._measured_days_by_pair = measured
+        self._index_key = key
+
     def events_of(self, pair: PairKey) -> List[CongestionEvent]:
-        return [e for e in self.events if e.pair == pair]
+        self._ensure_index()
+        assert self._events_by_pair is not None
+        return list(self._events_by_pair.get(pair, ()))
 
     def congested_day_count(self, pair: PairKey) -> int:
         """Days of *pair* having at least one congestion event."""
-        return len({e.day_index for e in self.events if e.pair == pair})
+        self._ensure_index()
+        assert self._event_days_by_pair is not None
+        return len(self._event_days_by_pair.get(pair, ()))
 
     def measured_day_count(self, pair: PairKey) -> int:
-        return sum(1 for d in self.day_records if d.pair == pair)
+        self._ensure_index()
+        assert self._measured_days_by_pair is not None
+        return self._measured_days_by_pair.get(pair, 0)
 
     def is_congested_server(self, pair: PairKey,
                             min_day_fraction: float = 0.10) -> bool:
@@ -161,8 +274,7 @@ def _pair_day_buckets(dataset: CampaignDataset, pair: PairKey,
     if values is None:
         raise AnalysisError(f"unknown metric {metric!r}")
     offset = dataset.server_meta(server_id).utc_offset_hours
-    local_ts = series["ts"] + offset * HOUR
-    day_idx = ((local_ts - dataset.start_ts) // DAY).astype(int)
+    day_idx = midnight_day_index(series["ts"], offset, dataset.start_ts)
     out = []
     for day in np.unique(day_idx):
         mask = day_idx == day
@@ -170,19 +282,48 @@ def _pair_day_buckets(dataset: CampaignDataset, pair: PairKey,
     return out
 
 
-def pair_daily_records(dataset: CampaignDataset, pair: PairKey,
-                       metric: str = "download",
-                       min_samples: int = MIN_SAMPLES_PER_DAY
-                       ) -> List[DayRecord]:
-    """Compute :class:`DayRecord` for every full day of one pair."""
+def _records_from_buckets(pair: PairKey,
+                          buckets: Sequence[Tuple[int, np.ndarray,
+                                                  np.ndarray]],
+                          min_samples: int) -> List[DayRecord]:
     records = []
-    for day, _ts, values in _pair_day_buckets(dataset, pair, metric):
+    for day, _ts, values in buckets:
         if len(values) < min_samples:
             continue
         records.append(DayRecord(
             pair=pair, day_index=day, n_samples=len(values),
             t_max=float(values.max()), t_min=float(values.min())))
     return records
+
+
+def _vh_from_buckets(buckets: Sequence[Tuple[int, np.ndarray,
+                                             np.ndarray]],
+                     min_samples: int) -> Tuple[np.ndarray, np.ndarray]:
+    ts_all: List[np.ndarray] = []
+    vh_all: List[np.ndarray] = []
+    for _day, ts, values in buckets:
+        if len(values) < min_samples:
+            continue
+        peak = values.max()
+        if peak <= 0:
+            continue
+        ts_all.append(ts)
+        vh_all.append((peak - values) / peak)
+    if not ts_all:
+        return np.array([]), np.array([])
+    ts_cat = np.concatenate(ts_all)
+    vh_cat = np.concatenate(vh_all)
+    order = np.argsort(ts_cat, kind="stable")
+    return ts_cat[order], vh_cat[order]
+
+
+def pair_daily_records(dataset: CampaignDataset, pair: PairKey,
+                       metric: str = "download",
+                       min_samples: int = MIN_SAMPLES_PER_DAY
+                       ) -> List[DayRecord]:
+    """Compute :class:`DayRecord` for every full day of one pair."""
+    return _records_from_buckets(
+        pair, _pair_day_buckets(dataset, pair, metric), min_samples)
 
 
 def daily_variability(dataset: CampaignDataset,
@@ -210,22 +351,8 @@ def hourly_variability(dataset: CampaignDataset, pair: PairKey,
                        min_samples: int = MIN_SAMPLES_PER_DAY
                        ) -> Tuple[np.ndarray, np.ndarray]:
     """(ts, V_H) arrays for one pair across all its full days."""
-    ts_all: List[np.ndarray] = []
-    vh_all: List[np.ndarray] = []
-    for _day, ts, values in _pair_day_buckets(dataset, pair, metric):
-        if len(values) < min_samples:
-            continue
-        peak = values.max()
-        if peak <= 0:
-            continue
-        ts_all.append(ts)
-        vh_all.append((peak - values) / peak)
-    if not ts_all:
-        return np.array([]), np.array([])
-    ts_cat = np.concatenate(ts_all)
-    vh_cat = np.concatenate(vh_all)
-    order = np.argsort(ts_cat, kind="stable")
-    return ts_cat[order], vh_cat[order]
+    return _vh_from_buckets(
+        _pair_day_buckets(dataset, pair, metric), min_samples)
 
 
 # ----------------------------------------------------------------------
@@ -240,7 +367,8 @@ def threshold_sweep(dataset: CampaignDataset,
                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(H values, congested s-day fraction, congested s-hour fraction).
 
-    The curves behind the paper's Fig. 2a / 2b.
+    The curves behind the paper's Fig. 2a / 2b.  One bucket pass per
+    pair feeds both curves.
     """
     hs = np.asarray(list(thresholds), dtype=float)
     if hs.size == 0:
@@ -248,9 +376,11 @@ def threshold_sweep(dataset: CampaignDataset,
     v_days: List[float] = []
     v_hours: List[float] = []
     for pair in dataset.pairs(region=region, tier=tier):
-        for record in pair_daily_records(dataset, pair, metric):
+        buckets = _pair_day_buckets(dataset, pair, metric)
+        for record in _records_from_buckets(pair, buckets,
+                                            MIN_SAMPLES_PER_DAY):
             v_days.append(record.variability)
-        _ts, vh = hourly_variability(dataset, pair, metric)
+        _ts, vh = _vh_from_buckets(buckets, MIN_SAMPLES_PER_DAY)
         v_hours.extend(vh.tolist())
     day_arr = np.asarray(v_days)
     hour_arr = np.asarray(v_hours)
@@ -310,18 +440,9 @@ def label_events(dataset: CampaignDataset, pair: PairKey,
     offset = dataset.server_meta(server_id).utc_offset_hours
     events: List[CongestionEvent] = []
     for day, ts, values in _pair_day_buckets(dataset, pair, metric):
-        if len(values) < min_samples:
-            continue
-        peak = float(values.max())
-        if peak <= 0:
-            continue
-        vh = (peak - values) / peak
-        for i in np.nonzero(vh > threshold)[0]:
-            local_hour = int(((ts[i] + offset * HOUR) // HOUR) % 24)
-            events.append(CongestionEvent(
-                pair=pair, ts=float(ts[i]), local_hour=local_hour,
-                day_index=day, v_h=float(vh[i]),
-                throughput_mbps=float(values[i]), day_peak_mbps=peak))
+        summary = summarize_day(pair, offset, day, ts, values,
+                                threshold, min_samples)
+        events.extend(summary.events)
     return events
 
 
@@ -337,19 +458,25 @@ def detect(dataset: CampaignDataset,
     ignored everywhere (records, hours, events); campaigns run with
     fault injection lower effective coverage, and this guard keeps
     V(s, d) well-defined on what remains.
+
+    Each pair's series is bucketed into local days exactly once;
+    records, hour counts, and events all come out of that single pass.
     """
     report = CongestionReport(threshold=threshold, metric=metric)
     with obs.span("analysis.congestion_detect", layer="analysis",
                   threshold=threshold, metric=metric) as sp:
         for pair in dataset.pairs(region=region, tier=tier):
-            records = pair_daily_records(dataset, pair, metric,
-                                         min_samples)
-            report.day_records.extend(records)
-            _ts, vh = hourly_variability(dataset, pair, metric,
-                                         min_samples)
-            report.pair_hours[pair] = int(vh.size)
-            report.events.extend(label_events(dataset, pair, threshold,
-                                              metric, min_samples))
+            offset = dataset.server_meta(pair[1]).utc_offset_hours
+            hours = 0
+            for day, ts, values in _pair_day_buckets(dataset, pair,
+                                                     metric):
+                summary = summarize_day(pair, offset, day, ts, values,
+                                        threshold, min_samples)
+                if summary.record is not None:
+                    report.day_records.append(summary.record)
+                hours += summary.measured_hours
+                report.events.extend(summary.events)
+            report.pair_hours[pair] = hours
         sp.annotate(n_events=len(report.events),
                     n_day_records=len(report.day_records))
     return report

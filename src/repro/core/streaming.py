@@ -1,0 +1,411 @@
+"""Incremental sliding-window congestion detection (ROADMAP item 3).
+
+The batch :func:`repro.core.congestion.detect` re-scans the whole
+dataset after the campaign ends.  :class:`StreamingCongestionDetector`
+consumes the same measurements *as events happen* and keeps per-pair
+day buckets, ``V(s, d)``, ``V_H`` events, and congested-server state
+up to date in O(new observations) per hour:
+
+* every completed test appends one ``(ts, value)`` sample to its
+  pair's *open* local-day bucket;
+* each hour boundary advances a watermark; any open day whose local
+  midnight has passed (plus a configurable lateness grace) is
+  *sealed* - the bucket is sorted once and handed to the same
+  :func:`~repro.core.congestion.summarize_day` the batch pass uses,
+  yielding the day's :class:`~repro.core.congestion.DayRecord`,
+  congestion events, and measured-hour count;
+* sealed day summaries are tiny aggregates, so live queries
+  (:meth:`pair_state`, :meth:`congested_pairs`) never touch raw
+  samples, and an optional ``window_days`` horizon makes the live
+  congested-server label a sliding window over the most recent days.
+
+**Equivalence contract**: :meth:`finalize` returns a
+:class:`~repro.core.congestion.CongestionReport` *equal* (same events,
+day records, and pair_hours - identical floats) to batch ``detect()``
+on the dataset built from the same event stream, for any
+``window_days``, as long as no observation arrived later than the
+sealing grace allowed (``late_dropped`` counts the ones that did).
+Both paths share one bucketing implementation -
+:func:`~repro.core.congestion.midnight_day_index` plus
+:func:`~repro.core.congestion.summarize_day` - which is what makes the
+contract bit-for-bit rather than merely approximate.
+
+:class:`StreamingDetectorObserver` adapts the detector to the engine's
+:class:`~repro.engine.bus.EventBus`; it works identically on the
+inline bus and on :func:`repro.shard.replay_events`'s merged stream
+(the replay synthesizes the same single hour framing the inline bus
+emits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Any, Callable, ClassVar, Dict, Iterable, List,
+                    Optional, Tuple)
+
+import numpy as np
+
+from ..engine.observers import Observer
+from ..errors import AnalysisError, ValidationError
+from ..units import DAY, HOUR
+from .campaign import CampaignDataset
+from .congestion import (MIN_SAMPLES_PER_DAY, PAPER_THRESHOLD,
+                         CongestionReport, DaySummary, PairKey,
+                         midnight_day_index, summarize_day)
+
+__all__ = [
+    "PairCongestionState",
+    "StreamingCongestionDetector",
+    "StreamingDetectorObserver",
+    "catalog_offsets",
+    "dataset_offsets",
+    "iter_hourly",
+    "stream_dataset",
+]
+
+#: metric name (table field) -> MeasurementRecord attribute.
+_METRIC_ATTRS = {
+    "download": "download_mbps",
+    "upload": "upload_mbps",
+    "latency": "latency_ms",
+    "loss_down": "download_loss_rate",
+    "loss_up": "upload_loss_rate",
+}
+
+
+def dataset_offsets(dataset: CampaignDataset) -> Callable[[str], float]:
+    """Server UTC-offset resolver backed by a dataset's metadata."""
+    return lambda server_id: dataset.server_meta(server_id).utc_offset_hours
+
+
+def catalog_offsets(catalog: Any, topology: Any) -> Callable[[str], float]:
+    """Server UTC-offset resolver backed by catalog + topology.
+
+    This is what a live campaign uses: the observer is built *before*
+    the runner creates the dataset, so offsets come from the same
+    city table :meth:`CampaignRunner.register_metadata` reads.
+    """
+    def offset_of(server_id: str) -> float:
+        server = catalog.get(server_id)
+        return topology.cities[server.city_key].utc_offset_hours
+    return offset_of
+
+
+class _OpenDay:
+    """One still-mutable pair-day: samples in arrival order."""
+
+    __slots__ = ("due_ts", "ts", "values")
+
+    def __init__(self, due_ts: float) -> None:
+        self.due_ts = due_ts
+        self.ts: List[float] = []
+        self.values: List[float] = []
+
+
+@dataclass(frozen=True)
+class PairCongestionState:
+    """Live congestion state of one pair over the current window."""
+
+    pair: PairKey
+    #: Sealed days with enough samples (the denominator).
+    measured_days: int
+    #: Measured days with at least one V_H event.
+    congested_days: int
+    n_events: int
+    #: The paper's label: >``min_day_fraction`` of days have events.
+    congested: bool
+
+    @property
+    def congested_day_fraction(self) -> float:
+        if self.measured_days == 0:
+            return 0.0
+        return self.congested_days / self.measured_days
+
+
+class StreamingCongestionDetector:
+    """Sliding-window V_H detection updated in O(new samples)/hour.
+
+    *offset_of* maps a server id to its UTC offset in hours (see
+    :func:`dataset_offsets` / :func:`catalog_offsets`).  *window_days*
+    bounds the live congested-server state to the most recent local
+    days (``None`` = unbounded, matching the batch label); it does not
+    affect :meth:`finalize`.  *lateness_hours* delays sealing so
+    bounded out-of-order delivery still lands in the right bucket;
+    observations for already-sealed days are dropped and counted in
+    :attr:`late_dropped`.
+    """
+
+    def __init__(self, start_ts: float,
+                 offset_of: Callable[[str], float],
+                 threshold: float = PAPER_THRESHOLD,
+                 metric: str = "download",
+                 min_samples: int = MIN_SAMPLES_PER_DAY,
+                 window_days: Optional[int] = None,
+                 lateness_hours: float = 0.0) -> None:
+        if metric not in _METRIC_ATTRS:
+            raise AnalysisError(f"unknown metric {metric!r}")
+        if window_days is not None and window_days < 1:
+            raise ValidationError(
+                f"window_days must be >= 1, got {window_days}")
+        if lateness_hours < 0:
+            raise ValidationError(
+                f"lateness_hours must be >= 0, got {lateness_hours}")
+        self.start_ts = float(start_ts)
+        self.threshold = threshold
+        self.metric = metric
+        self.min_samples = min_samples
+        self.window_days = window_days
+        self.lateness_s = lateness_hours * HOUR
+        self.watermark = float(start_ts)
+        self._offset_of = offset_of
+        self._offsets: Dict[str, float] = {}
+        self._open: Dict[PairKey, Dict[int, _OpenDay]] = {}
+        self._sealed: Dict[PairKey, Dict[int, DaySummary]] = {}
+        #: Total observations accepted (late ones excluded).
+        self.observed = 0
+        #: Observations that arrived after their day was sealed.
+        self.late_dropped = 0
+        #: Sealed pair-days so far.
+        self.sealed_days = 0
+        #: Bumps whenever sealed state changes (snapshot cache key).
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # ingestion
+
+    def _offset(self, server_id: str) -> float:
+        offset = self._offsets.get(server_id)
+        if offset is None:
+            offset = self._offsets[server_id] = float(
+                self._offset_of(server_id))
+        return offset
+
+    def _due_ts(self, day: int, offset: float) -> float:
+        """UTC instant at which local day *day* can be sealed."""
+        origin_day = int((self.start_ts + offset * HOUR) // DAY)
+        end_utc = (origin_day + day + 1) * DAY - offset * HOUR
+        return end_utc + self.lateness_s
+
+    def observe(self, pair: PairKey, ts: float, value: float) -> bool:
+        """Ingest one measurement; False when it was too late to keep."""
+        offset = self._offset(pair[1])
+        day = midnight_day_index(ts, offset, self.start_ts)
+        sealed = self._sealed.get(pair)
+        if sealed is not None and day in sealed:
+            self.late_dropped += 1
+            return False
+        days = self._open.setdefault(pair, {})
+        bucket = days.get(day)
+        if bucket is None:
+            bucket = days[day] = _OpenDay(self._due_ts(day, offset))
+        bucket.ts.append(float(ts))
+        bucket.values.append(float(value))
+        self.observed += 1
+        return True
+
+    def observe_record(self, record: Any) -> bool:
+        """Ingest one :class:`~repro.core.records.MeasurementRecord`."""
+        pair = (record.region, record.server_id, record.tier.value)
+        value = getattr(record, _METRIC_ATTRS[self.metric])
+        return self.observe(pair, record.ts, value)
+
+    def advance(self, ts: float) -> int:
+        """Move the watermark forward, sealing every due open day.
+
+        Returns the number of pair-days sealed.  Moving backwards is a
+        no-op (the merged shard replay can legitimately re-announce the
+        current hour).
+        """
+        if ts > self.watermark:
+            self.watermark = float(ts)
+        return self._seal_due(self.watermark)
+
+    def _seal_due(self, watermark: float) -> int:
+        n = 0
+        for pair, days in self._open.items():
+            due = [day for day, bucket in days.items()
+                   if bucket.due_ts <= watermark]
+            for day in sorted(due):
+                self._seal(pair, day, days.pop(day))
+                n += 1
+        if n:
+            self.version += 1
+        return n
+
+    def _seal(self, pair: PairKey, day: int, bucket: _OpenDay) -> None:
+        ts = np.asarray(bucket.ts, dtype=float)
+        values = np.asarray(bucket.values, dtype=float)
+        # Stable ts sort reproduces the dataset table's within-day
+        # ordering (ties keep arrival order), so summarize_day sees
+        # exactly the bucket the batch pass would build.
+        order = np.argsort(ts, kind="stable")
+        summary = summarize_day(pair, self._offset(pair[1]), day,
+                                ts[order], values[order],
+                                self.threshold, self.min_samples)
+        self._sealed.setdefault(pair, {})[day] = summary
+        self.sealed_days += 1
+
+    def finalize(self) -> CongestionReport:
+        """Seal everything and return the batch-equivalent report."""
+        n = 0
+        for pair in list(self._open):
+            days = self._open.pop(pair)
+            for day in sorted(days):
+                self._seal(pair, day, days[day])
+                n += 1
+        if n:
+            self.version += 1
+        report = CongestionReport(threshold=self.threshold,
+                                  metric=self.metric)
+        for pair in sorted(self._sealed):
+            hours = 0
+            days = self._sealed[pair]
+            for day in sorted(days):
+                summary = days[day]
+                if summary.record is not None:
+                    report.day_records.append(summary.record)
+                hours += summary.measured_hours
+                report.events.extend(summary.events)
+            report.pair_hours[pair] = hours
+        return report
+
+    # ------------------------------------------------------------------
+    # live state
+
+    def pairs(self) -> List[PairKey]:
+        return sorted(set(self._sealed) | set(self._open))
+
+    def _window_floor(self, pair: PairKey) -> Optional[int]:
+        if self.window_days is None:
+            return None
+        offset = self._offset(pair[1])
+        current = midnight_day_index(self.watermark, offset,
+                                     self.start_ts)
+        return current - self.window_days
+
+    def pair_state(self, pair: PairKey,
+                   min_day_fraction: float = 0.10) -> PairCongestionState:
+        """Live (windowed) congestion state of one pair, O(sealed days)."""
+        floor = self._window_floor(pair)
+        measured = congested = n_events = 0
+        for day, summary in self._sealed.get(pair, {}).items():
+            if floor is not None and day < floor:
+                continue
+            if summary.record is not None:
+                measured += 1
+                if summary.events:
+                    congested += 1
+                    n_events += len(summary.events)
+        return PairCongestionState(
+            pair=pair, measured_days=measured, congested_days=congested,
+            n_events=n_events,
+            congested=(measured > 0
+                       and congested / measured > min_day_fraction))
+
+    def congested_pairs(self, min_day_fraction: float = 0.10
+                        ) -> List[PairKey]:
+        """Pairs currently labeled congested over the live window."""
+        return [pair for pair in self.pairs()
+                if self.pair_state(pair, min_day_fraction).congested]
+
+
+# ----------------------------------------------------------------------
+# engine wiring
+
+
+class StreamingDetectorObserver(Observer):
+    """Feeds a :class:`StreamingCongestionDetector` from the event bus.
+
+    Subscribes like any campaign observer; hour boundaries drive the
+    detector's watermark, completed tests feed it, and campaign end
+    advances the watermark to the final boundary (sealing every
+    complete day) without finalizing - the caller decides when to
+    :meth:`~StreamingCongestionDetector.finalize`.
+    """
+
+    #: Kinds with no bearing on congestion state.
+    IGNORED_EVENTS: ClassVar[Tuple[str, ...]] = (
+        "billing-charged", "test-lost", "test-retried",
+        "upload-attempted", "vm-preempted", "vm-replaced")
+
+    def __init__(self, detector: StreamingCongestionDetector) -> None:
+        self.detector = detector
+
+    def on_hour_started(self, event: Any) -> None:
+        self.detector.advance(event.ts)
+
+    def on_test_completed(self, event: Any) -> None:
+        if event.record is None:
+            raise ValidationError(
+                "TestCompleted event carries no record payload; the "
+                "streaming detector cannot bucket the measurement "
+                "without it")
+        self.detector.observe_record(event.record)
+
+    def on_campaign_finished(self, event: Any) -> None:
+        self.detector.advance(event.ts)
+
+
+# ----------------------------------------------------------------------
+# replay
+
+
+def stream_dataset(dataset: CampaignDataset,
+                   detector: Optional[StreamingCongestionDetector] = None,
+                   **kwargs: Any) -> Tuple[StreamingCongestionDetector,
+                                           CongestionReport]:
+    """Replay a finished dataset hour by hour through a detector.
+
+    Builds a detector over the dataset's own metadata when none is
+    given (*kwargs* forward to its constructor), feeds every
+    measurement in hour order - each pair's samples in series order,
+    so tie-breaking matches the table - and finalizes.  Returns
+    ``(detector, report)``; the report equals batch ``detect()`` on
+    the same dataset.
+    """
+    if detector is None:
+        detector = StreamingCongestionDetector(
+            dataset.start_ts, dataset_offsets(dataset), **kwargs)
+    elif kwargs:
+        raise ValidationError(
+            "pass detector kwargs only when stream_dataset builds "
+            "the detector")
+    rows: List[Tuple[float, PairKey, float]] = []
+    for pair in dataset.pairs():
+        series = dataset.table.series(pair)
+        values = series.get(detector.metric)
+        if values is None:
+            raise AnalysisError(f"unknown metric {detector.metric!r}")
+        for ts, value in zip(series["ts"], values):
+            rows.append((float(ts), pair, float(value)))
+    rows.sort(key=lambda row: row[0])  # stable: per-pair order survives
+    feed = iter_hourly(rows, dataset.start_ts, dataset.end_ts)
+    for hour_ts, hour_rows in feed:
+        detector.advance(hour_ts)
+        for ts, pair, value in hour_rows:
+            detector.observe(pair, ts, value)
+    return detector, detector.finalize()
+
+
+def iter_hourly(rows: List[Tuple[float, PairKey, float]],
+                start_ts: float, end_ts: float
+                ) -> Iterable[Tuple[float, List[Tuple[float, PairKey,
+                                                      float]]]]:
+    """Group ts-sorted rows into hour batches, one per campaign hour.
+
+    Yields ``(hour_start_ts, rows_in_hour)`` for every hour in
+    ``[start_ts, end_ts)`` (plus a trailing batch when measurements
+    run past the end), mirroring how the engine frames hours.
+    """
+    n_hours = max(int((end_ts - start_ts) // HOUR), 0)
+    index = 0
+    for hour in range(n_hours):
+        hour_ts = start_ts + hour * HOUR
+        upper = hour_ts + HOUR
+        batch: List[Tuple[float, PairKey, float]] = []
+        while index < len(rows) and rows[index][0] < upper:
+            batch.append(rows[index])
+            index += 1
+        yield hour_ts, batch
+    if index < len(rows):
+        yield start_ts + n_hours * HOUR, rows[index:]

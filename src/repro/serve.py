@@ -1,0 +1,316 @@
+"""Serving layer: live congestion state for dashboard consumers.
+
+:class:`MonitorService` sits on top of a
+:class:`~repro.core.streaming.StreamingCongestionDetector` and answers
+"which pairs are congested right now?" queries from a TTL-cached
+snapshot, so millions of dashboard/API consumers cost one snapshot
+rebuild per TTL window instead of one detector scan per query.  All
+serving traffic is metered through a
+:class:`~repro.obs.metrics.MetricsRegistry` (the service owns its own
+instance, so metering works without enabling the global obs plane) and
+exported with the existing :mod:`repro.obs` serializers
+(:func:`~repro.obs.exporters.metrics_to_prometheus` /
+:func:`~repro.obs.exporters.metrics_to_jsonlines`).
+
+The load model is honest about volume: :meth:`MonitorService.serve_batch`
+accounts a whole sorted arrival array in O(cache refreshes) -
+segments between refreshes are pure cache hits whose count and
+staleness total come from vectorized prefix arithmetic, while the
+staleness *histogram* records one per-segment mean sample (documented
+sampling, exact counters).  :func:`simulate_load` and
+:class:`ConsumerLoadObserver` generate those arrivals from a
+:class:`~repro.rng.SeedTree`, so a simulated day of a million
+consumers per hour is deterministic and takes milliseconds.
+
+Time is simulated throughout: queries carry their own ``now_ts`` and
+cache expiry is measured against it, never against the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .core.streaming import StreamingCongestionDetector
+from .engine.observers import Observer
+from .errors import ValidationError
+from .obs.exporters import metrics_to_jsonlines, metrics_to_prometheus
+from .obs.metrics import MetricsRegistry
+from .rng import SeedTree
+from .units import HOUR
+
+__all__ = [
+    "ConsumerLoadObserver",
+    "LoadReport",
+    "MonitorService",
+    "simulate_load",
+]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregate serving statistics over everything metered so far."""
+
+    queries: int
+    cache_hits: int
+    cache_misses: int
+    mean_staleness_s: float
+    max_staleness_s: float
+
+    @property
+    def hit_rate(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return self.cache_hits / self.queries
+
+
+class MonitorService:
+    """TTL-cached congestion snapshots over a streaming detector.
+
+    A snapshot (pair states, congested set, detector health counters)
+    is rebuilt at most once per *ttl_s* of simulated time; every query
+    inside the window is a cache hit served the cached result, with
+    its staleness (query time minus snapshot time) metered.  The
+    detector's :attr:`~StreamingCongestionDetector.version` is stamped
+    on each snapshot, so the exported ``serve.version_lag`` gauge
+    shows how many sealed-state changes the cache is behind.
+    """
+
+    def __init__(self, detector: StreamingCongestionDetector,
+                 ttl_s: float = HOUR,
+                 registry: Optional[MetricsRegistry] = None,
+                 min_day_fraction: float = 0.10) -> None:
+        if ttl_s <= 0:
+            raise ValidationError(f"ttl_s must be > 0, got {ttl_s}")
+        self.detector = detector
+        self.ttl_s = float(ttl_s)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.min_day_fraction = min_day_fraction
+        self._snapshot: Optional[Dict[str, Any]] = None
+        self._cached_at: Optional[float] = None
+        self._stale_max = 0.0
+
+    # ------------------------------------------------------------------
+    # cache core
+
+    @property
+    def cached_at(self) -> Optional[float]:
+        """Simulated time of the current snapshot (None before any)."""
+        return self._cached_at
+
+    def _valid_at(self, now_ts: float) -> bool:
+        return (self._cached_at is not None
+                and now_ts - self._cached_at < self.ttl_s)
+
+    def _build_snapshot(self, now_ts: float) -> Dict[str, Any]:
+        detector = self.detector
+        pairs = detector.pairs()
+        states = [detector.pair_state(pair, self.min_day_fraction)
+                  for pair in pairs]
+        congested = [state.pair for state in states if state.congested]
+        return {
+            "ts": now_ts,
+            "version": detector.version,
+            "watermark": detector.watermark,
+            "metric": detector.metric,
+            "threshold": detector.threshold,
+            "window_days": detector.window_days,
+            "n_pairs": len(pairs),
+            "n_congested": len(congested),
+            "congested": ["/".join(pair) for pair in congested],
+            "pairs": {
+                "/".join(state.pair): {
+                    "measured_days": state.measured_days,
+                    "congested_days": state.congested_days,
+                    "n_events": state.n_events,
+                    "congested": state.congested,
+                } for state in states
+            },
+            "observed": detector.observed,
+            "late_dropped": detector.late_dropped,
+            "sealed_days": detector.sealed_days,
+        }
+
+    def _refresh(self, now_ts: float) -> Dict[str, Any]:
+        snapshot = self._build_snapshot(now_ts)
+        self._snapshot = snapshot
+        self._cached_at = float(now_ts)
+        registry = self.registry
+        registry.counter("serve.cache.misses").inc()
+        registry.gauge("serve.pairs").set(snapshot["n_pairs"])
+        registry.gauge("serve.congested_pairs").set(
+            snapshot["n_congested"])
+        registry.gauge("serve.snapshot_version").set(snapshot["version"])
+        registry.gauge("serve.version_lag").set(0.0)
+        return snapshot
+
+    def _meter_staleness(self, total_s: float, n: int,
+                         max_s: float) -> None:
+        registry = self.registry
+        registry.counter("serve.staleness_s_total").inc(total_s)
+        if n:
+            registry.histogram("serve.staleness_s").add(total_s / n)
+        if max_s > self._stale_max:
+            self._stale_max = max_s
+            registry.gauge("serve.staleness_s_max").set(max_s)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def query(self, now_ts: float) -> Dict[str, Any]:
+        """One consumer query at simulated time *now_ts*."""
+        registry = self.registry
+        registry.counter("serve.queries").inc()
+        if self._valid_at(now_ts):
+            registry.counter("serve.cache.hits").inc()
+            assert self._cached_at is not None
+            stale = max(now_ts - self._cached_at, 0.0)
+            self._meter_staleness(stale, 1, stale)
+            registry.gauge("serve.version_lag").set(
+                self.detector.version - self._snapshot["version"])
+            return self._snapshot  # type: ignore[return-value]
+        return self._refresh(now_ts)
+
+    def serve_batch(self, arrivals: Union[np.ndarray, Any]) -> int:
+        """Account a sorted array of query arrival times in bulk.
+
+        Equivalent to calling :meth:`query` once per arrival, but the
+        work (and the metering) is O(number of cache refreshes): each
+        refresh opens a hit segment whose bounds come from one
+        ``searchsorted`` and whose staleness total is one vectorized
+        sum.  Returns the number of cache refreshes performed.
+        """
+        times = np.asarray(arrivals, dtype=float)
+        if times.ndim != 1:
+            raise ValidationError(
+                f"arrivals must be 1-D, got shape {times.shape}")
+        if times.size == 0:
+            return 0
+        if np.any(np.diff(times) < 0):
+            raise ValidationError("arrivals must be sorted ascending")
+        registry = self.registry
+        registry.counter("serve.queries").inc(int(times.size))
+        refreshes = 0
+        index = 0
+        n = times.size
+        while index < n:
+            ts = float(times[index])
+            if not self._valid_at(ts):
+                self._refresh(ts)
+                refreshes += 1
+                index += 1
+                if index >= n:
+                    break
+            assert self._cached_at is not None
+            valid_until = self._cached_at + self.ttl_s
+            upper = int(np.searchsorted(times, valid_until, side="left"))
+            if upper <= index:
+                # Next arrival is already past expiry; refresh on it.
+                continue
+            segment = times[index:upper]
+            stale = segment - self._cached_at
+            registry.counter("serve.cache.hits").inc(int(segment.size))
+            self._meter_staleness(float(stale.sum()), int(segment.size),
+                                  float(stale[-1]))
+            index = upper
+        registry.gauge("serve.version_lag").set(
+            self.detector.version - self._snapshot["version"])
+        return refreshes
+
+    # ------------------------------------------------------------------
+    # exports
+
+    def load_report(self) -> LoadReport:
+        snapshot = self.registry.snapshot()
+        counters = snapshot["counters"]
+        queries = int(counters.get("serve.queries", 0))
+        hits = int(counters.get("serve.cache.hits", 0))
+        misses = int(counters.get("serve.cache.misses", 0))
+        total_stale = counters.get("serve.staleness_s_total", 0.0)
+        return LoadReport(
+            queries=queries, cache_hits=hits, cache_misses=misses,
+            mean_staleness_s=(total_stale / hits if hits else 0.0),
+            max_staleness_s=self._stale_max)
+
+    def prometheus(self) -> str:
+        """Serving + detector metrics in Prometheus text format."""
+        return metrics_to_prometheus(self.registry.snapshot())
+
+    def json_lines(self) -> str:
+        """Serving + detector metrics as JSON lines."""
+        return metrics_to_jsonlines(self.registry.snapshot())
+
+    def state_json(self, now_ts: Optional[float] = None) -> str:
+        """The current (or freshly queried) snapshot as a JSON document."""
+        snapshot = self._snapshot
+        if now_ts is not None:
+            snapshot = self.query(now_ts)
+        if snapshot is None:
+            raise ValidationError(
+                "no snapshot cached yet; pass now_ts to query one")
+        return json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# load generation
+
+
+def simulate_load(service: MonitorService, seeds: SeedTree,
+                  start_ts: float, hours: int,
+                  consumers_per_hour: int) -> LoadReport:
+    """Replay *hours* of dashboard traffic against the service cache.
+
+    Each simulated hour draws *consumers_per_hour* arrival instants
+    (uniform within the hour, from the ``serve.load`` seed stream) and
+    serves them through :meth:`MonitorService.serve_batch`.  Returns
+    the cumulative :class:`LoadReport`.
+    """
+    if hours < 1:
+        raise ValidationError(f"hours must be >= 1, got {hours}")
+    if consumers_per_hour < 1:
+        raise ValidationError(
+            f"consumers_per_hour must be >= 1, got {consumers_per_hour}")
+    gen = seeds.generator("serve.load")
+    for hour in range(hours):
+        hour_ts = start_ts + hour * HOUR
+        offsets = np.sort(gen.random(int(consumers_per_hour))) * HOUR
+        service.serve_batch(hour_ts + offsets)
+    return service.load_report()
+
+
+class ConsumerLoadObserver(Observer):
+    """In-campaign consumer traffic: queries ride the hour boundaries.
+
+    Subscribed *after* the :class:`~repro.core.streaming.
+    StreamingDetectorObserver`, each ``hour-started`` event draws the
+    hour's consumer arrivals and serves them in bulk, so the campaign
+    run itself produces the serving-load metrics.
+    """
+
+    #: Kinds that carry no serving traffic.
+    IGNORED_EVENTS: ClassVar[Tuple[str, ...]] = (
+        "billing-charged", "test-completed", "test-lost",
+        "test-retried", "upload-attempted", "vm-preempted",
+        "vm-replaced")
+
+    def __init__(self, service: MonitorService, seeds: SeedTree,
+                 consumers_per_hour: int = 10_000) -> None:
+        if consumers_per_hour < 1:
+            raise ValidationError(
+                f"consumers_per_hour must be >= 1, got "
+                f"{consumers_per_hour}")
+        self.service = service
+        self.consumers_per_hour = consumers_per_hour
+        self._gen = seeds.generator("serve.consumers")
+
+    def on_hour_started(self, event: Any) -> None:
+        offsets = np.sort(
+            self._gen.random(self.consumers_per_hour)) * HOUR
+        self.service.serve_batch(event.ts + offsets)
+
+    def on_campaign_finished(self, event: Any) -> None:
+        # One final query so the exported state reflects the last hour.
+        self.service.query(event.ts)

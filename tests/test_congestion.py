@@ -1,5 +1,8 @@
 """Congestion detection: V(s,d), V_H(s,t), elbow, events."""
 
+import json
+import pathlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -8,6 +11,7 @@ from hypothesis import strategies as st
 from repro.cloud.tiers import NetworkTier
 from repro.core.campaign import CampaignDataset
 from repro.core.congestion import (
+    CongestionEvent,
     DayRecord,
     MIN_SAMPLES_PER_DAY,
     PAPER_THRESHOLD,
@@ -16,6 +20,7 @@ from repro.core.congestion import (
     detect,
     hourly_variability,
     label_events,
+    midnight_day_index,
     pair_daily_records,
     threshold_sweep,
 )
@@ -202,3 +207,83 @@ def test_variability_bounds_property(day_values):
         assert 0.0 <= record.variability < 1.0
     _ts, vh = hourly_variability(dataset, _pair())
     assert np.all(vh >= 0.0) and np.all(vh < 1.0)
+
+
+# ----------------------------------------------------------------------
+# midnight alignment + lazy report indices (regressions)
+
+
+def test_midnight_day_index_splits_at_local_midnight():
+    start = float(CAMPAIGN_START) + 6 * HOUR  # 06:00 UTC campaign start
+    assert midnight_day_index(start, 0.0, start) == 0
+    # The boundary is local midnight, 18 hours in - not start + 24 h.
+    assert midnight_day_index(start + 17 * HOUR, 0.0, start) == 0
+    assert midnight_day_index(start + 18 * HOUR, 0.0, start) == 1
+    ts = np.array([start, start + 17 * HOUR, start + 18 * HOUR,
+                   start + 42 * HOUR])
+    np.testing.assert_array_equal(
+        midnight_day_index(ts, 0.0, start), [0, 0, 1, 2])
+    # A west-of-UTC server never sees a negative index for ts >= start.
+    assert midnight_day_index(start, -7.0, start) >= 0
+
+
+def test_day_index_nonnegative_for_west_offsets():
+    """Start-anchored bucketing gave srv-1's first local hours day -1."""
+    dataset = _make_dataset(CONGESTED_DAY, offset_hours=-7.0)
+    report = detect(dataset, threshold=0.5)
+    assert [r.day_index for r in report.day_records] == [1, 2]
+    assert all(e.day_index >= 0 for e in report.events)
+    assert report.measured_day_count(_pair()) == 2
+
+
+def test_non_midnight_start_splits_at_local_midnight():
+    """A 06:00 UTC campaign start must not shift the day boundaries."""
+    start = float(CAMPAIGN_START) + 6 * HOUR
+    dataset = CampaignDataset(start, start + 2 * DAY)
+    dataset.add_server_meta(ServerMeta(
+        server_id="srv-1", asn=65000, sponsor="T", city_key="X, US",
+        country="US", utc_offset_hours=0.0, lat=0.0, lon=0.0))
+    for hour in range(48):
+        dataset.record(MeasurementRecord(
+            ts=start + hour * HOUR, region="us-west1", vm_name="vm",
+            server_id="srv-1", tier=NetworkTier.PREMIUM,
+            download_mbps=400.0 + hour * 1e-3, upload_mbps=95.0,
+            latency_ms=20.0, download_loss_rate=0.0,
+            upload_loss_rate=0.0))
+    report = detect(dataset)
+    # 18 samples before the first local midnight, then a full day,
+    # then a 6-sample tail below MIN_SAMPLES_PER_DAY (dropped).  The
+    # old start-anchored bucketing produced two 24-sample "days"
+    # straddling midnight.
+    assert [(r.day_index, r.n_samples) for r in report.day_records] \
+        == [(0, 18), (1, 24)]
+    assert report.pair_hours[_pair()] == 42
+
+
+def test_report_indices_track_list_growth():
+    """The lazy per-pair indices rebuild when the report grows."""
+    dataset = _make_dataset(CONGESTED_DAY)
+    report = detect(dataset, threshold=0.5)
+    assert len(report.events_of(_pair())) == 6
+    other = ("us-west1", "srv-2", "premium")
+    assert report.events_of(other) == []
+    # The streaming path appends to these lists between snapshots.
+    report.events.append(CongestionEvent(
+        pair=other, ts=float(CAMPAIGN_START), local_hour=0, day_index=0,
+        v_h=0.9, throughput_mbps=10.0, day_peak_mbps=100.0))
+    report.day_records.append(DayRecord(
+        pair=other, day_index=0, n_samples=24, t_max=100.0, t_min=10.0))
+    assert len(report.events_of(other)) == 1
+    assert report.measured_day_count(other) == 1
+    assert report.congested_day_count(other) == 1
+    assert report.is_congested_server(other)
+
+
+def test_detection_matches_pinned_fixture():
+    from .fixtures_congestion import regression_dataset, serialize_report
+
+    report = detect(regression_dataset(), threshold=0.5)
+    fixture = json.loads(
+        (pathlib.Path(__file__).parent / "golden"
+         / "congestion_detection.json").read_text(encoding="utf-8"))
+    assert serialize_report(report) == fixture["report"]

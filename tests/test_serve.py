@@ -1,0 +1,158 @@
+"""Monitor service: cached serving, bulk load accounting, exports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingCongestionDetector
+from repro.errors import ValidationError
+from repro.rng import SeedTree
+from repro.serve import (ConsumerLoadObserver, LoadReport, MonitorService,
+                         simulate_load)
+from repro.units import DAY, HOUR
+
+START = 0.0
+PAIR = ("us-west1", "srv-1", "premium")
+
+
+def _detector(window_days=None):
+    detector = StreamingCongestionDetector(
+        START, {"srv-1": 0.0}.__getitem__, window_days=window_days)
+    # One sealed congested day: collapse at hours 10-12.
+    for hour in range(24):
+        value = 80.0 if hour in (10, 11, 12) else 400.0
+        detector.observe(PAIR, START + hour * HOUR, value)
+    detector.advance(START + DAY)
+    return detector
+
+
+def test_query_cache_hit_miss_and_expiry():
+    service = MonitorService(_detector(), ttl_s=HOUR)
+    first = service.query(0.0)
+    assert first["n_pairs"] == 1
+    assert first["congested"] == ["us-west1/srv-1/premium"]
+    assert service.query(HOUR / 2) is first          # hit inside TTL
+    assert service.query(HOUR) is not first          # expired at TTL
+    report = service.load_report()
+    assert report.queries == 3
+    assert report.cache_hits == 1
+    assert report.cache_misses == 2
+    assert report.hit_rate == pytest.approx(1 / 3)
+    assert report.mean_staleness_s == pytest.approx(HOUR / 2)
+    assert report.max_staleness_s == pytest.approx(HOUR / 2)
+
+
+def test_serve_batch_matches_per_query_accounting():
+    arrivals = np.sort(
+        SeedTree(3).generator("test.serve.arrivals").random(500)) * DAY
+    loop = MonitorService(_detector(), ttl_s=HOUR)
+    for ts in arrivals:
+        loop.query(float(ts))
+    bulk = MonitorService(_detector(), ttl_s=HOUR)
+    refreshes = bulk.serve_batch(arrivals)
+    a, b = loop.load_report(), bulk.load_report()
+    assert b.queries == a.queries == 500
+    assert b.cache_misses == a.cache_misses == refreshes
+    assert b.cache_hits == a.cache_hits
+    assert b.mean_staleness_s == pytest.approx(a.mean_staleness_s)
+    assert b.max_staleness_s == pytest.approx(a.max_staleness_s)
+
+
+def test_serve_batch_validation():
+    service = MonitorService(_detector(), ttl_s=HOUR)
+    with pytest.raises(ValidationError):
+        service.serve_batch(np.array([2.0, 1.0]))
+    with pytest.raises(ValidationError):
+        service.serve_batch(np.zeros((2, 2)))
+    assert service.serve_batch(np.array([])) == 0
+    with pytest.raises(ValidationError):
+        MonitorService(_detector(), ttl_s=0.0)
+
+
+def test_simulate_load_is_deterministic_and_mostly_hits():
+    reports = []
+    for _ in range(2):
+        service = MonitorService(_detector(), ttl_s=HOUR)
+        reports.append(simulate_load(service, SeedTree(42), START,
+                                     hours=24,
+                                     consumers_per_hour=2_000))
+    assert reports[0] == reports[1]
+    report = reports[0]
+    assert report.queries == 24 * 2_000
+    # One refresh per TTL window: ~24 misses out of 48k queries.
+    assert report.cache_misses <= 25
+    assert report.hit_rate > 0.999
+    assert 0.0 < report.mean_staleness_s < HOUR
+
+
+def test_simulate_load_validation():
+    service = MonitorService(_detector(), ttl_s=HOUR)
+    with pytest.raises(ValidationError):
+        simulate_load(service, SeedTree(1), START, hours=0,
+                      consumers_per_hour=10)
+    with pytest.raises(ValidationError):
+        simulate_load(service, SeedTree(1), START, hours=1,
+                      consumers_per_hour=0)
+
+
+def test_snapshot_version_lag_and_refresh():
+    detector = _detector()
+    service = MonitorService(detector, ttl_s=HOUR)
+    service.query(DAY)
+    assert service.registry.gauge("serve.version_lag").value == 0.0
+    # New sealed state while the cache is still warm: lag visible.
+    for hour in range(24):
+        detector.observe(PAIR, START + DAY + hour * HOUR, 400.0)
+    detector.advance(START + 2 * DAY)
+    service.query(DAY + HOUR / 2)
+    assert service.registry.gauge("serve.version_lag").value == 1.0
+    # After expiry the refresh catches up.
+    snapshot = service.query(DAY + 2 * HOUR)
+    assert snapshot["version"] == detector.version
+    assert service.registry.gauge("serve.version_lag").value == 0.0
+
+
+def test_exports_and_state_json():
+    service = MonitorService(_detector(), ttl_s=HOUR)
+    with pytest.raises(ValidationError):
+        service.state_json()
+    state = json.loads(service.state_json(now_ts=0.0))
+    assert state["pairs"]["us-west1/srv-1/premium"]["congested"]
+    assert state["sealed_days"] == 1
+    prom = service.prometheus()
+    assert "serve_queries 1" in prom
+    assert "serve_cache_misses 1" in prom
+    lines = service.json_lines().strip().splitlines()
+    names = {json.loads(line)["name"] for line in lines}
+    assert {"serve.queries", "serve.cache.misses",
+            "serve.pairs"} <= names
+
+
+def test_windowed_service_reports_eviction():
+    detector = _detector(window_days=1)
+    service = MonitorService(detector, ttl_s=HOUR)
+    assert service.query(DAY)["n_congested"] == 1
+    detector.advance(START + 2 * DAY)  # day 0 leaves the window
+    assert service.query(2 * DAY)["n_congested"] == 0
+
+
+def test_consumer_load_observer_rides_hours():
+    from repro.engine.events import CampaignFinished, HourStarted
+
+    service = MonitorService(_detector(), ttl_s=HOUR)
+    observer = ConsumerLoadObserver(service, SeedTree(9),
+                                    consumers_per_hour=100)
+    for hour in range(3):
+        observer.on_event(HourStarted(ts=DAY + hour * HOUR,
+                                      hour_index=hour))
+    observer.on_event(CampaignFinished(ts=DAY + 3 * HOUR, n_hours=3))
+    report = service.load_report()
+    assert report.queries == 301
+    assert report.cache_misses >= 3
+    with pytest.raises(ValidationError):
+        ConsumerLoadObserver(service, SeedTree(9), consumers_per_hour=0)
+
+
+def test_load_report_zero_queries():
+    assert LoadReport(0, 0, 0, 0.0, 0.0).hit_rate == 0.0

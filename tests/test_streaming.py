@@ -1,0 +1,243 @@
+"""Streaming detection: batch equivalence, lateness, windows.
+
+The hard contract under test: finalizing a
+:class:`~repro.core.streaming.StreamingCongestionDetector` fed from
+the live event bus yields a report *equal* to batch ``detect()`` on
+the dataset the same events built - same events, day records, and
+pair hours, identical floats - across fault plans and shard counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.tiers import NetworkTier
+from repro.core.campaign import CampaignDataset
+from repro.core.congestion import detect
+from repro.core.records import MeasurementRecord, ServerMeta
+from repro.core.streaming import (StreamingCongestionDetector,
+                                  StreamingDetectorObserver,
+                                  dataset_offsets, iter_hourly,
+                                  stream_dataset)
+from repro.errors import AnalysisError, ValidationError
+from repro.experiments.scenario import build_scenario
+from repro.faults import FaultPlan
+from repro.simclock import CAMPAIGN_START
+from repro.units import DAY, HOUR
+
+# Keep in sync with tests/test_shard.py's pinned campaign shape.
+SEED, SCALE, REGION, BUDGET_SERVERS, DAYS = 11, 0.05, "us-west1", 8, 2
+
+_FAULT_PLANS = {"off": lambda: None, "default": FaultPlan.default,
+                "heavy": FaultPlan.heavy}
+
+
+def _campaign_with_stream(faults, shards):
+    scenario = build_scenario(seed=SEED, scale=SCALE,
+                              faults=_FAULT_PLANS[faults]())
+    clasp = scenario.clasp
+    selection = clasp.select_topology_servers(REGION)
+    plan = clasp.deploy_topology(REGION, selection,
+                                 budget_servers=BUDGET_SERVERS)
+    detector, observer = clasp.streaming_detector()
+    dataset = clasp.run_campaign([plan], days=DAYS,
+                                 charge_billing=False,
+                                 observers=[observer], shards=shards)
+    return dataset, detector
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("faults", ["off", "default", "heavy"])
+def test_stream_equals_batch(faults, shards):
+    dataset, detector = _campaign_with_stream(faults, shards)
+    batch = detect(dataset)
+    streamed = detector.finalize()
+    assert detector.late_dropped == 0
+    assert streamed.events == batch.events
+    assert streamed.day_records == batch.day_records
+    assert streamed.pair_hours == batch.pair_hours
+    assert streamed == batch
+    assert streamed.congested_pairs() == batch.congested_pairs()
+
+
+# ----------------------------------------------------------------------
+# synthetic feeds (no engine): lateness, ordering, windows
+
+
+def _synthetic_dataset(days=3, offset_hours=0.0, server_id="srv-1",
+                       start_ts=float(CAMPAIGN_START)):
+    """Hourly downloads collapsing at local hours 10-12 every day."""
+    dataset = CampaignDataset(start_ts, start_ts + days * DAY)
+    dataset.add_server_meta(ServerMeta(
+        server_id=server_id, asn=65000, sponsor="Test ISP",
+        city_key="Testtown, US", country="US",
+        utc_offset_hours=offset_hours, lat=0.0, lon=0.0,
+        business_type="isp"))
+    n_hours = days * 24
+    for hour in range(n_hours):
+        ts = start_ts + hour * HOUR
+        local_hour = int((ts + offset_hours * HOUR) // HOUR) % 24
+        value = 80.0 if local_hour in (10, 11, 12) else 400.0
+        dataset.record(MeasurementRecord(
+            ts=ts, region="us-west1", vm_name="vm-1",
+            server_id=server_id, tier=NetworkTier.PREMIUM,
+            download_mbps=value + hour * 1e-3, upload_mbps=95.0,
+            latency_ms=20.0, download_loss_rate=1e-4,
+            upload_loss_rate=1e-4))
+    return dataset
+
+
+def _rows(dataset, metric="download"):
+    rows = []
+    for pair in dataset.pairs():
+        series = dataset.table.series(pair)
+        for ts, value in zip(series["ts"], series[metric]):
+            rows.append((float(ts), pair, float(value)))
+    rows.sort(key=lambda row: row[0])
+    return rows
+
+
+def test_stream_dataset_replay_matches_batch():
+    dataset = _synthetic_dataset(offset_hours=-7.0)
+    detector, report = stream_dataset(dataset)
+    assert report == detect(dataset)
+    assert detector.late_dropped == 0
+    assert detector.observed == len(dataset)
+
+
+def test_out_of_order_within_grace_is_equivalent():
+    dataset = _synthetic_dataset()
+    detector = StreamingCongestionDetector(
+        dataset.start_ts, dataset_offsets(dataset), lateness_hours=3.0)
+    for hour_ts, batch_rows in iter_hourly(_rows(dataset),
+                                           dataset.start_ts,
+                                           dataset.end_ts):
+        detector.advance(hour_ts)
+        # Deliver the hour's rows two hours late *and* reversed: the
+        # sealing grace keeps the buckets open, and the stable ts sort
+        # at seal time restores the table order.
+        for ts, pair, value in reversed(batch_rows):
+            detector.observe(pair, ts, value)
+    assert detector.finalize() == detect(dataset)
+    assert detector.late_dropped == 0
+
+
+def test_delayed_hour_delivery_within_grace():
+    dataset = _synthetic_dataset()
+    detector = StreamingCongestionDetector(
+        dataset.start_ts, dataset_offsets(dataset), lateness_hours=2.0)
+    hours = list(iter_hourly(_rows(dataset), dataset.start_ts,
+                             dataset.end_ts))
+    pending = []
+    for hour_ts, batch_rows in hours:
+        detector.advance(hour_ts)
+        # Rows arrive one hour after their own hour's boundary.
+        for ts, pair, value in pending:
+            detector.observe(pair, ts, value)
+        pending = batch_rows
+    for ts, pair, value in pending:
+        detector.observe(pair, ts, value)
+    assert detector.finalize() == detect(dataset)
+    assert detector.late_dropped == 0
+
+
+def test_too_late_observation_is_dropped_and_counted():
+    dataset = _synthetic_dataset(days=2)
+    detector = StreamingCongestionDetector(
+        dataset.start_ts, dataset_offsets(dataset), lateness_hours=0.0)
+    rows = _rows(dataset)
+    held_back = rows.pop(5)  # a day-0 sample delivered at campaign end
+    for hour_ts, batch_rows in iter_hourly(rows, dataset.start_ts,
+                                           dataset.end_ts):
+        detector.advance(hour_ts)
+        for ts, pair, value in batch_rows:
+            detector.observe(pair, ts, value)
+    detector.advance(dataset.end_ts)
+    assert not detector.observe(held_back[1], held_back[0],
+                                held_back[2])
+    assert detector.late_dropped == 1
+    streamed = detector.finalize()
+    batch = detect(dataset)
+    pair = held_back[1]
+    assert streamed.pair_hours[pair] == batch.pair_hours[pair] - 1
+
+
+def test_window_eviction_at_edge():
+    dataset = _synthetic_dataset(days=3)
+    detector = StreamingCongestionDetector(
+        dataset.start_ts, dataset_offsets(dataset), window_days=1)
+    rows = _rows(dataset)
+    pair = rows[0][1]
+    day_rows = [row for row in rows
+                if row[0] < dataset.start_ts + DAY]
+    for ts, key, value in day_rows:
+        detector.observe(key, ts, value)
+    # Day 0 seals at the day-1 boundary and sits inside the 1-day
+    # window: its congested hours make the pair congested.
+    detector.advance(dataset.start_ts + DAY)
+    assert detector.pair_state(pair).measured_days == 1
+    assert detector.congested_pairs() == [pair]
+    # One watermark day later, day 0 falls off the window edge.
+    detector.advance(dataset.start_ts + 2 * DAY)
+    assert detector.pair_state(pair).measured_days == 0
+    assert detector.congested_pairs() == []
+    # The window affects only live state: finalize still matches the
+    # batch pass over the same observations.
+    for ts, key, value in [row for row in rows
+                           if row[0] >= dataset.start_ts + DAY]:
+        detector.observe(key, ts, value)
+    assert detector.finalize() == detect(dataset)
+
+
+def test_watermark_never_rewinds():
+    dataset = _synthetic_dataset(days=1)
+    detector = StreamingCongestionDetector(
+        dataset.start_ts, dataset_offsets(dataset))
+    detector.advance(dataset.start_ts + 5 * HOUR)
+    assert detector.advance(dataset.start_ts) == 0
+    assert detector.watermark == dataset.start_ts + 5 * HOUR
+
+
+def test_version_bumps_only_on_seal():
+    dataset = _synthetic_dataset(days=2)
+    detector = StreamingCongestionDetector(
+        dataset.start_ts, dataset_offsets(dataset))
+    rows = _rows(dataset)
+    for ts, pair, value in rows:
+        detector.observe(pair, ts, value)
+    assert detector.version == 0
+    assert detector.advance(dataset.start_ts + 12 * HOUR) == 0
+    assert detector.version == 0
+    assert detector.advance(dataset.start_ts + DAY) == 1
+    assert detector.version == 1
+    detector.finalize()
+    assert detector.version == 2
+
+
+def test_observer_requires_record_payload():
+    from repro.engine.events import TestCompleted
+
+    dataset = _synthetic_dataset(days=1)
+    detector = StreamingCongestionDetector(
+        dataset.start_ts, dataset_offsets(dataset))
+    observer = StreamingDetectorObserver(detector)
+    event = TestCompleted(
+        ts=dataset.start_ts, region="us-west1", vm_name="vm-1",
+        server_id="srv-1", tier="premium", latency_ms=20.0,
+        download_mbps=100.0, upload_mbps=95.0, upload_bytes=1.0,
+        artefact_bytes=1, record=None)
+    with pytest.raises(ValidationError):
+        observer.on_event(event)
+
+
+def test_constructor_validation():
+    offsets = {"srv-1": 0.0}.get
+    with pytest.raises(AnalysisError):
+        StreamingCongestionDetector(0.0, offsets, metric="nope")
+    with pytest.raises(ValidationError):
+        StreamingCongestionDetector(0.0, offsets, window_days=0)
+    with pytest.raises(ValidationError):
+        StreamingCongestionDetector(0.0, offsets, lateness_hours=-1.0)
+    with pytest.raises(ValidationError):
+        stream_dataset(_synthetic_dataset(days=1),
+                       StreamingCongestionDetector(0.0, offsets),
+                       window_days=2)
