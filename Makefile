@@ -5,7 +5,8 @@
 
 PYTHON ?= python
 
-.PHONY: check lint lint-graph test golden bench-shard bench-streaming
+.PHONY: check lint lint-graph test golden bench-shard bench-streaming \
+	bench-alerts bench-trend
 
 check:
 	$(PYTHON) scripts/check.py
@@ -29,3 +30,11 @@ bench-shard:
 # Re-anchor the streaming_detect point (incremental vs rescan + serving).
 bench-streaming:
 	PYTHONPATH=src $(PYTHON) -m pytest -q -p no:cacheprovider benchmarks/bench_streaming.py
+
+# Re-anchor the alerts_eval point (rule evaluation riding the collector).
+bench-alerts:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -p no:cacheprovider benchmarks/bench_alerts.py
+
+# Perf-trend gate: fresh batch + streaming ratios vs the committed anchors.
+bench-trend:
+	$(PYTHON) scripts/bench_trend.py

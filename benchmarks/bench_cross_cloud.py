@@ -4,7 +4,7 @@ Builds one scenario carrying all three providers (gcp + aws +
 openstack WANs in a shared Internet), times :func:`run_matrix` at
 ``shards=4`` over two regions per provider, runs one provider-choice
 analysis, and records a ``cross_cloud_matrix`` point into
-``BENCH_campaign.json`` (schema ``bench-campaign/v3``, documented in
+``BENCH_campaign.json`` (schema ``bench-campaign/v4``, documented in
 ``benchmarks/README.md``) alongside the shard-scaling rows - the
 existing keys in that file are preserved, so either bench can
 re-anchor its own point independently.
@@ -31,7 +31,7 @@ SHARDS = 4
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
 
-SCHEMA = "bench-campaign/v3"
+SCHEMA = "bench-campaign/v4"
 
 
 def test_bench_cross_cloud(emit):

@@ -167,7 +167,7 @@ def test_bench_shard_scale(emit):
     if BENCH_PATH.exists():
         doc = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
     doc.update({
-        "schema": "bench-campaign/v3",
+        "schema": "bench-campaign/v4",
         "generated_by": "benchmarks/bench_shard_scale.py",
         "label": LABEL,
         "shape": {

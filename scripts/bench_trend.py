@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Perf-trend gate: a fresh bench point vs the committed trajectory.
+
+``BENCH_campaign.json`` is the perf trajectory of the repo; this
+script re-measures its two headline *ratios* at the committed shapes
+and fails when either has regressed by more than
+``MAX_REGRESSION`` (default 20%):
+
+* the batch speedup - events/sec of the batch executor vs the scalar
+  path at shards=1, on the same campaign as the committed ``rows``;
+* the streaming speedup - a full ``detect()`` rescan vs the per-hour
+  incremental update, on the same campaign as the committed
+  ``streaming_detect`` point.
+
+Ratios (not absolute wall seconds) are compared, so the gate is
+robust to the host being faster or slower than the machine that
+committed the anchor point.  Each check appends one entry to the
+doc's ``history`` list - the in-file tail of the perf curve (the full
+curve stays in the git history of the JSON file).
+
+Opt-in from ``scripts/check.py`` via ``REPRO_BENCH_TREND=1`` - fresh
+campaign runs take ~15s, too slow for the default gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.congestion import detect  # noqa: E402
+from repro.core.streaming import (StreamingCongestionDetector,  # noqa: E402
+                                  dataset_offsets, iter_hourly)
+from repro.experiments.scenario import build_scenario  # noqa: E402
+
+BENCH_PATH = REPO_ROOT / "BENCH_campaign.json"
+
+#: Fail when a fresh ratio drops below this fraction of the committed
+#: anchor (0.8 == a >20% regression fails the gate).
+MAX_REGRESSION = 0.8
+
+#: Best-of runs per timed measurement (jitter suppression).
+BEST_OF = 3
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _deploy_shape(shape):
+    scenario = build_scenario(seed=shape["seed"], scale=shape["scale"],
+                              faults=None)
+    clasp = scenario.clasp
+    plans = []
+    for region in shape["regions"]:
+        selection = clasp.select_topology_servers(region)
+        plans.append(clasp.deploy_topology(
+            region, selection, budget_servers=shape["budget_servers"]))
+    return clasp, plans
+
+
+def fresh_batch_speedup(doc):
+    """events/sec ratio, batch vs scalar, at the committed shape."""
+    shape = doc["shape"]
+    clasp, plans = _deploy_shape(shape)
+    walls = {}
+    for batch in (False, True):
+        wall, _dataset = _best_of(1, lambda batch=batch: clasp.run_campaign(
+            plans, days=shape["days"], charge_billing=False, batch=batch))
+        walls[batch] = wall
+    # Identical event streams either way (tier-1 guarantee), so the
+    # events/sec ratio collapses to the inverse wall-time ratio.
+    return walls[False] / walls[True]
+
+
+def committed_batch_speedup(doc):
+    per_sec = {row["batch"]: row["events_per_sec"]
+               for row in doc["rows"] if row["shards"] == 1}
+    return per_sec[True] / per_sec[False]
+
+
+def fresh_streaming_speedup(doc):
+    """detect() rescan vs per-hour incremental, at the committed shape."""
+    shape = doc["streaming_detect"]["shape"]
+    clasp, plans = _deploy_shape(shape)
+    dataset = clasp.run_campaign(plans, days=shape["days"],
+                                 charge_billing=False)
+    rows = []
+    for pair in dataset.pairs():
+        series = dataset.table.series(pair)
+        for ts, value in zip(series["ts"], series["download"]):
+            rows.append((float(ts), pair, float(value)))
+    rows.sort(key=lambda row: row[0])
+
+    rescan_wall, _report = _best_of(BEST_OF, lambda: detect(dataset))
+
+    def replay():
+        detector = StreamingCongestionDetector(
+            dataset.start_ts, dataset_offsets(dataset))
+        for hour_ts, hour_rows in iter_hourly(rows, dataset.start_ts,
+                                              dataset.end_ts):
+            detector.advance(hour_ts)
+            for ts, pair, value in hour_rows:
+                detector.observe(pair, ts, value)
+        return detector
+
+    stream_wall, _detector = _best_of(BEST_OF, replay)
+    per_hour = stream_wall / (shape["days"] * 24)
+    return rescan_wall / per_hour
+
+
+def main() -> int:
+    if not BENCH_PATH.exists():
+        print("bench-trend: no BENCH_campaign.json to compare against",
+              file=sys.stderr)
+        return 1
+    doc = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+
+    checks = []  # (name, fresh, committed)
+    print("== bench-trend: fresh batch point "
+          f"(shape: {doc['shape']['regions']})", flush=True)
+    checks.append(("batch_speedup", fresh_batch_speedup(doc),
+                   committed_batch_speedup(doc)))
+    print("== bench-trend: fresh streaming point", flush=True)
+    checks.append(("streaming_speedup", fresh_streaming_speedup(doc),
+                   doc["streaming_detect"]["speedup_incremental_vs_rescan"]))
+
+    failures = []
+    entry = {"label": doc.get("label", "?"), "verdict": "ok"}
+    for name, fresh, committed in checks:
+        ratio = fresh / committed
+        status = "ok" if ratio >= MAX_REGRESSION else "REGRESSED"
+        print(f"   {name}: fresh {fresh:.2f}x vs committed "
+              f"{committed:.2f}x ({ratio:.2f} of anchor) -> {status}")
+        entry[name] = round(fresh, 2)
+        if ratio < MAX_REGRESSION:
+            failures.append(name)
+    if failures:
+        entry["verdict"] = "regressed: " + ", ".join(failures)
+
+    doc.setdefault("history", []).append(entry)
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n",
+                          encoding="utf-8")
+
+    if failures:
+        print(f"bench-trend: regression in {', '.join(failures)} "
+              f"(> {1 - MAX_REGRESSION:.0%} below the committed anchor)",
+              file=sys.stderr)
+        return 1
+    print("bench-trend: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 """One-stop verification: lint, a SARIF smoke, the tests, a bench smoke.
 
 This is what ``make check`` runs.  After the full lint pass, the
-cross-file shard-safety rules (RPR009-RPR012) run once more as a
+cross-file rules (RPR009-RPR013) run once more as a
 focused ``--select`` step: that exercises RPR009's allowlist-liveness
 check against the :mod:`repro.shard` module in isolation, so a stale
 shared-state allowlist entry fails the build even if some other rule's
@@ -21,6 +21,12 @@ without it the suite still runs, just without the coverage gate, so
 the check works in minimal environments.  The bench smoke runs the
 observability-overhead benchmark at a tiny scale to catch
 instrumentation cost regressions without the full bench harness.
+
+Set ``REPRO_BENCH_TREND=1`` to append a perf-trend gate
+(``scripts/bench_trend.py``): it re-measures the batch and streaming
+speedup ratios at the committed ``BENCH_campaign.json`` shapes and
+fails on a >20% regression.  Opt-in because the fresh campaign runs
+add ~15s.
 """
 
 from __future__ import annotations
@@ -76,7 +82,7 @@ def main() -> int:
 
     status = _run("shard-safety lint", [
         sys.executable, "-m", "repro.lint", str(SRC / "repro"),
-        "--select", "RPR009,RPR010,RPR011,RPR012", "--no-cache"])
+        "--select", "RPR009,RPR010,RPR011,RPR012,RPR013", "--no-cache"])
     if status != 0:
         return status
 
@@ -108,9 +114,18 @@ def main() -> int:
     if status != 0:
         return status
 
-    return _run("bench smoke", [
+    status = _run("bench smoke", [
         sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
         "benchmarks/bench_obs_overhead.py"])
+    if status != 0:
+        return status
+
+    if os.environ.get("REPRO_BENCH_TREND") == "1":
+        return _run("bench trend gate", [
+            sys.executable, "scripts/bench_trend.py"])
+    print("== note: REPRO_BENCH_TREND not set; skipping the perf-trend "
+          "gate (scripts/bench_trend.py)", flush=True)
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,53 @@
+"""Notification-log exporters (pure serializers, like repro.obs).
+
+The append-only :class:`~repro.alerts.engine.Notification` log goes
+out two ways: JSON-lines (one object per transition, ``sort_keys``
+for stable bytes - this is the artifact the determinism tests compare
+byte for byte) and a Prometheus ``ALERTS``-style exposition in the
+same dialect :mod:`repro.obs.exporters` speaks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .engine import Notification, RuleEvaluator
+
+__all__ = ["alerts_to_prometheus", "notifications_to_jsonlines"]
+
+
+def notifications_to_jsonlines(
+        notifications: Sequence[Notification]) -> str:
+    """One JSON object per notification, log order, stable bytes."""
+    lines = [json.dumps(n.payload(), sort_keys=True)
+             for n in notifications]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def alerts_to_prometheus(evaluator: RuleEvaluator) -> str:
+    """Prometheus ``ALERTS`` series + notification totals.
+
+    Mirrors Prometheus' own convention: one ``ALERTS{alertname=...,
+    alertstate="firing"} 1`` sample per currently-firing rule, plus
+    cumulative transition counters.
+    """
+    out: List[str] = []
+    firing = evaluator.firing()
+    if firing:
+        out.append("# TYPE ALERTS gauge")
+        for rule, _since_ts in firing:
+            out.append(
+                f'ALERTS{{alertname="{rule.name}",'
+                f'alertstate="firing",severity="{rule.severity}"}} 1')
+    totals = {"firing": 0, "resolved": 0}
+    for notification in evaluator.notifications:
+        totals[notification.status] += 1
+    out.append("# TYPE alerts_notifications_total counter")
+    out.append('alerts_notifications_total{status="firing"} '
+               f"{totals['firing']}")
+    out.append('alerts_notifications_total{status="resolved"} '
+               f"{totals['resolved']}")
+    out.append("# TYPE alerts_evaluations_total counter")
+    out.append(f"alerts_evaluations_total {evaluator.evaluations}")
+    return "\n".join(out) + "\n"

@@ -21,6 +21,17 @@ Subcommands:
   traffic (``--consumers`` queries per hour), and the final state /
   serving metrics print as a summary table, Prometheus text, or JSON
   lines (``--format state|prom|jsonl``).
+* ``daemon`` - replay N successive campaigns into one long-lived
+  :class:`~repro.alerts.Collector` (one streaming detector, metrics
+  registry, tsdb-backed history, and rule engine across all runs),
+  verify watermark continuity and the cross-run batch-equivalence
+  contract, and print the alert notification log; ``--state PATH``
+  saves/resumes the collector between invocations.
+* ``alerts`` - run one campaign with the alerting collector attached
+  and print the notification log / firing state (``--format
+  summary|jsonl|prom``).  ``campaign``, ``serve``, and ``daemon`` all
+  accept ``--rules FILE`` (JSON; see ``examples/rules_default.json``),
+  defaulting to the shipped rule set.
 * ``world`` - generate a scenario and print its inventory.
 * ``cost`` - estimate the cloud bill for a campaign shape.
 * ``obs`` - run an instrumented campaign with :mod:`repro.obs` enabled
@@ -125,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="attach the incremental streaming detector "
                              "to the event bus and verify its finalized "
                              "report equals batch detection")
+    p_camp.add_argument("--rules", metavar="FILE",
+                        help="attach the alerting collector with this "
+                             "JSON rules file and print the "
+                             "notification log after the campaign")
     profile_opt(p_camp)
     common(p_camp)
 
@@ -154,7 +169,60 @@ def build_parser() -> argparse.ArgumentParser:
                               "state = live-state JSON document, "
                               "prom = Prometheus text, jsonl = JSON "
                               "lines")
+    p_serve.add_argument("--rules", metavar="FILE",
+                         help="evaluate this JSON rules file on the "
+                              "live state; alert state joins the "
+                              "snapshot/prom exports")
     common(p_serve)
+
+    p_daemon = sub.add_parser("daemon",
+                              help="keep one collector alive across N "
+                                   "successive campaign runs")
+    p_daemon.add_argument("--runs", type=int, default=3,
+                          help="number of successive campaigns to "
+                               "replay into the collector")
+    p_daemon.add_argument("--region", default="us-west1")
+    p_daemon.add_argument("--servers", type=int, default=8,
+                          help="server budget for each deployment")
+    p_daemon.add_argument("--shards", type=int, default=1,
+                          help="partition lanes across N sharded "
+                               "executors (byte-identical alerts)")
+    p_daemon.add_argument("--rules", metavar="FILE",
+                          help="JSON rules file (default: the shipped "
+                               "rule set)")
+    p_daemon.add_argument("--state", metavar="PATH",
+                          help="resume the collector from PATH when it "
+                               "exists and save it back afterwards "
+                               "(skips finalize so the daemon can keep "
+                               "going)")
+    p_daemon.add_argument("--format", choices=("summary", "jsonl"),
+                          default="summary", dest="fmt",
+                          help="summary = continuity table + log, "
+                               "jsonl = notification log only")
+    common(p_daemon)
+
+    p_alerts = sub.add_parser("alerts",
+                              help="run one campaign with the alerting "
+                                   "collector and print the "
+                                   "notification log")
+    p_alerts.add_argument("--region", default="us-west1")
+    p_alerts.add_argument("--servers", type=int, default=8,
+                          help="server budget for the deployment")
+    p_alerts.add_argument("--faults",
+                          choices=("off", "default", "heavy"),
+                          default="off",
+                          help="fault-injection plan "
+                               "(seed-deterministic)")
+    p_alerts.add_argument("--rules", metavar="FILE",
+                          help="JSON rules file (default: the shipped "
+                               "rule set)")
+    p_alerts.add_argument("--format",
+                          choices=("summary", "jsonl", "prom"),
+                          default="summary", dest="fmt",
+                          help="summary = table + log, jsonl = "
+                               "notification log, prom = ALERTS "
+                               "series + collector metrics")
+    common(p_alerts)
 
     p_obs = sub.add_parser("obs",
                            help="run an instrumented campaign and dump "
@@ -303,6 +371,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.stream:
             stream_detector, stream_observer = clasp.streaming_detector()
             observers.append(stream_observer)
+        alerts_collector = None
+        if args.rules:
+            from repro.alerts import load_rules
+            alerts_collector, alerts_observer = clasp.collector(
+                rules=load_rules(args.rules))
+            observers.append(alerts_observer)
         try:
             dataset = clasp.run_campaign([plan], days=args.days,
                                          observers=observers,
@@ -349,7 +423,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                        stream_detector.late_dropped])
         table.add_row(["stream == batch detect",
                        "yes" if streamed == batch else "NO"])
+    if alerts_collector is not None:
+        alerts_collector.finalize()
+        evaluator = alerts_collector.evaluator
+        table.add_row(["alert rules", len(evaluator.rules)])
+        table.add_row(["alert notifications",
+                       len(evaluator.notifications)])
+        table.add_row(["alerts firing now", evaluator.active_count])
     print(table.render())
+    if alerts_collector is not None:
+        from repro.alerts import notifications_to_jsonlines
+        print(notifications_to_jsonlines(
+            alerts_collector.evaluator.notifications), end="")
     if metrics is not None:
         snapshot = metrics.snapshot()
         events = TextTable(["event", "count"], title="engine events")
@@ -408,9 +493,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     selection = clasp.select_topology_servers(args.region)
     plan = clasp.deploy_topology(args.region, selection,
                                  budget_servers=args.servers)
-    detector, observer = clasp.streaming_detector(
-        window_days=args.window_days)
-    service = MonitorService(detector, ttl_s=args.ttl_hours * HOUR)
+    evaluator = None
+    if args.rules:
+        from repro.alerts import load_rules
+        collector, observer = clasp.collector(
+            rules=load_rules(args.rules), window_days=args.window_days)
+        detector = collector.detector
+        evaluator = collector.evaluator
+    else:
+        detector, observer = clasp.streaming_detector(
+            window_days=args.window_days)
+    service = MonitorService(detector, ttl_s=args.ttl_hours * HOUR,
+                             evaluator=evaluator)
     load = ConsumerLoadObserver(service,
                                 SeedTree(args.seed).child("serve"),
                                 consumers_per_hour=args.consumers)
@@ -439,9 +533,144 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     table.add_row(["queries served", f"{report.queries:,}"])
     table.add_row(["cache hit rate", f"{report.hit_rate:.4f}"])
     table.add_row(["mean staleness", f"{report.mean_staleness_s:.0f} s"])
+    if evaluator is not None:
+        table.add_row(["alert rules", len(evaluator.rules)])
+        table.add_row(["alert notifications",
+                       len(evaluator.notifications)])
+        table.add_row(["alerts firing now", evaluator.active_count])
     print(table.render())
     for pair in detector.congested_pairs():
         print(f"congested: {'/'.join(pair)}")
+    if evaluator is not None:
+        for rule, since_ts in evaluator.firing():
+            print(f"firing: {rule.name} ({rule.severity}) "
+                  f"since sim ts {since_ts:.0f}")
+    return 0
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.alerts import (Collector, concat_datasets, default_rules,
+                              load_rules, notifications_to_jsonlines)
+    from repro.core.congestion import detect
+    from repro.experiments import build_scenario
+    from repro.report.tables import TextTable
+    from repro.simclock import CAMPAIGN_START
+    from repro.units import DAY
+
+    rules = load_rules(args.rules) if args.rules else default_rules()
+    collector = None
+    resumed = False
+    if args.state and Path(args.state).exists():
+        collector = Collector.from_state_json(
+            Path(args.state).read_text(encoding="utf-8"), rules=rules)
+        resumed = True
+    datasets = []
+    watermarks = []
+    for _ in range(args.runs):
+        # Run k of a daemon sequence covers simulated days
+        # [k*days, (k+1)*days); the world rebuilds identically from
+        # the seed, only simulated time moves.
+        run_index = collector.runs if collector is not None else 0
+        run_start = float(CAMPAIGN_START) + run_index * args.days * DAY
+        scenario = build_scenario(seed=args.seed, scale=args.scale)
+        clasp = scenario.clasp
+        selection = clasp.select_topology_servers(args.region)
+        plan = clasp.deploy_topology(args.region, selection,
+                                     budget_servers=args.servers)
+        collector, observer = clasp.collector(rules=rules,
+                                              collector=collector)
+        dataset = clasp.run_campaign([plan], days=args.days,
+                                     start_ts=run_start,
+                                     observers=[observer],
+                                     shards=args.shards)
+        datasets.append(dataset)
+        watermarks.append(collector.detector.watermark)
+    monotone = all(later > earlier for earlier, later
+                   in zip(watermarks, watermarks[1:]))
+    if args.state:
+        # Keep the collector resumable: no finalize (it would seal
+        # still-open days and late-drop the next run's data).
+        Path(args.state).write_text(collector.state_json(),
+                                    encoding="utf-8")
+    else:
+        report = collector.finalize()
+    evaluator = collector.evaluator
+    if args.fmt == "jsonl":
+        print(notifications_to_jsonlines(evaluator.notifications),
+              end="")
+        return 0
+    detector = collector.detector
+    table = TextTable(["metric", "value"],
+                      title=f"daemon: {args.runs} x {args.days}-day "
+                            f"runs, {args.region}"
+                            + (" (resumed)" if resumed else ""))
+    table.add_row(["total runs", collector.runs])
+    table.add_row(["watermarks strictly monotone",
+                   "yes" if monotone else "NO"])
+    table.add_row(["observations", detector.observed])
+    table.add_row(["late dropped", detector.late_dropped])
+    table.add_row(["sealed pair-days", detector.sealed_days])
+    if args.state:
+        table.add_row(["state saved", args.state])
+    else:
+        batch = detect(concat_datasets(datasets))
+        table.add_row(["V_H events", len(report.events)])
+        table.add_row(["stream == batch on concat",
+                       "yes" if report == batch else "NO"])
+    table.add_row(["alert rules", len(evaluator.rules)])
+    table.add_row(["rule evaluations", evaluator.evaluations])
+    table.add_row(["alert notifications", len(evaluator.notifications)])
+    table.add_row(["alerts firing now", evaluator.active_count])
+    print(table.render())
+    print(notifications_to_jsonlines(evaluator.notifications), end="")
+    return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    from repro.alerts import (alerts_to_prometheus, default_rules,
+                              load_rules, notifications_to_jsonlines)
+    from repro.experiments import build_scenario
+    from repro.faults import FaultPlan
+    from repro.obs.exporters import metrics_to_prometheus
+    from repro.report.tables import TextTable
+
+    plans = {"off": None, "default": FaultPlan.default(),
+             "heavy": FaultPlan.heavy()}
+    rules = load_rules(args.rules) if args.rules else default_rules()
+    scenario = build_scenario(seed=args.seed, scale=args.scale,
+                              faults=plans[args.faults])
+    clasp = scenario.clasp
+    selection = clasp.select_topology_servers(args.region)
+    plan = clasp.deploy_topology(args.region, selection,
+                                 budget_servers=args.servers)
+    collector, observer = clasp.collector(rules=rules)
+    clasp.run_campaign([plan], days=args.days, observers=[observer])
+    collector.finalize()
+    evaluator = collector.evaluator
+    if args.fmt == "jsonl":
+        print(notifications_to_jsonlines(evaluator.notifications),
+              end="")
+        return 0
+    if args.fmt == "prom":
+        print(metrics_to_prometheus(collector.registry.snapshot()),
+              end="")
+        print(alerts_to_prometheus(evaluator), end="")
+        return 0
+    table = TextTable(["metric", "value"],
+                      title=f"alerts: {args.region}, {args.days} days, "
+                            f"{len(rules)} rules")
+    table.add_row(["observations", collector.detector.observed])
+    table.add_row(["sealed pair-days", collector.detector.sealed_days])
+    table.add_row(["rule evaluations", evaluator.evaluations])
+    table.add_row(["notifications", len(evaluator.notifications)])
+    table.add_row(["firing now", evaluator.active_count])
+    print(table.render())
+    print(notifications_to_jsonlines(evaluator.notifications), end="")
+    for rule, since_ts in evaluator.firing():
+        print(f"firing: {rule.name} ({rule.severity}) "
+              f"since sim ts {since_ts:.0f}")
     return 0
 
 
@@ -478,7 +707,9 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print(spans_to_jsonlines(spans), end="")
             print(metrics_to_jsonlines(snapshot), end="")
         else:
-            print(metrics_to_prometheus(snapshot), end="")
+            print(metrics_to_prometheus(snapshot,
+                                        recorder=tracer.recorder),
+                  end="")
     finally:
         obs.disable()
     return 0
@@ -559,6 +790,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "quickloop": _cmd_quickloop,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
+    "daemon": _cmd_daemon,
+    "alerts": _cmd_alerts,
     "obs": _cmd_obs,
     "world": _cmd_world,
     "cost": _cmd_cost,

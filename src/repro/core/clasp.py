@@ -236,6 +236,36 @@ class Clasp:
             window_days=window_days, lateness_hours=lateness_hours)
         return detector, StreamingDetectorObserver(detector)
 
+    def collector(self, rules: Sequence = (), collector=None,
+                  threshold: float = PAPER_THRESHOLD,
+                  metric: str = "download",
+                  window_days: Optional[int] = None,
+                  lateness_hours: float = 0.0,
+                  snapshot_hours: float = 1.0,
+                  start_ts: float = float(CAMPAIGN_START)):
+        """A daemon collector + bus observer pair for this stack.
+
+        Pass an existing *collector* to attach a successive campaign
+        run to it - the daemon pattern: one detector, registry,
+        history, and rule engine outlive any single Clasp.  Either
+        way ``begin_run()`` binds this stack's catalog offsets and
+        provider before the observer is handed back, so the returned
+        observer can go straight into
+        ``run_campaign(observers=[observer])``.
+        """
+        from ..alerts import Collector
+        from .streaming import catalog_offsets
+        if collector is None:
+            collector = Collector(
+                start_ts=start_ts, rules=rules, threshold=threshold,
+                metric=metric, window_days=window_days,
+                lateness_hours=lateness_hours,
+                snapshot_hours=snapshot_hours)
+        collector.begin_run(
+            catalog_offsets(self.catalog, self.platform.topology),
+            provider=self.platform.provider.name)
+        return collector, collector.observer()
+
     def detect_congestion(self, dataset: CampaignDataset,
                           threshold: float = PAPER_THRESHOLD,
                           region: Optional[str] = None,

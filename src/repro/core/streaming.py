@@ -50,8 +50,9 @@ from ..errors import AnalysisError, ValidationError
 from ..units import DAY, HOUR
 from .campaign import CampaignDataset
 from .congestion import (MIN_SAMPLES_PER_DAY, PAPER_THRESHOLD,
-                         CongestionReport, DaySummary, PairKey,
-                         midnight_day_index, summarize_day)
+                         CongestionEvent, CongestionReport, DayRecord,
+                         DaySummary, PairKey, midnight_day_index,
+                         summarize_day)
 
 __all__ = [
     "PairCongestionState",
@@ -307,6 +308,131 @@ class StreamingCongestionDetector:
         """Pairs currently labeled congested over the live window."""
         return [pair for pair in self.pairs()
                 if self.pair_state(pair, min_day_fraction).congested]
+
+    def sealed_items(self) -> Iterable[Tuple[PairKey, int, DaySummary]]:
+        """Sealed day summaries in deterministic (pair, day) order.
+
+        A sealed pair-day is immutable, so consumers (the alerts
+        collector's event export) can track what they have already
+        seen by ``(pair, day)`` key.
+        """
+        for pair in sorted(self._sealed):
+            days = self._sealed[pair]
+            for day in sorted(days):
+                yield pair, day, days[day]
+
+    # ------------------------------------------------------------------
+    # persistence (daemon save/restore)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Full JSON-serializable state, exact to the float.
+
+        Everything except the ``offset_of`` callable is captured -
+        including cached offsets, open buckets in arrival order, and
+        sealed summaries - so :meth:`load_state` resumes a detector
+        whose every future output is bit-identical to one that never
+        stopped.
+        """
+        return {
+            "start_ts": self.start_ts,
+            "threshold": self.threshold,
+            "metric": self.metric,
+            "min_samples": self.min_samples,
+            "window_days": self.window_days,
+            "lateness_s": self.lateness_s,
+            "watermark": self.watermark,
+            "observed": self.observed,
+            "late_dropped": self.late_dropped,
+            "sealed_days": self.sealed_days,
+            "version": self.version,
+            "offsets": {sid: self._offsets[sid]
+                        for sid in sorted(self._offsets)},
+            "open": [
+                {"pair": list(pair), "day": day, "due_ts": bucket.due_ts,
+                 "ts": list(bucket.ts), "values": list(bucket.values)}
+                for pair in sorted(self._open)
+                for day, bucket in sorted(self._open[pair].items())],
+            "sealed": [
+                {"pair": list(pair), "day": day,
+                 "summary": _summary_to_dict(summary)}
+                for pair, day, summary in self.sealed_items()],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output, replacing current state.
+
+        The ``offset_of`` resolver passed at construction is kept (it
+        is the one thing the snapshot cannot carry), but the cached
+        offsets are restored, so a resumed detector keeps bucketing
+        with exactly the offsets it had already resolved.
+        """
+        self.start_ts = float(state["start_ts"])
+        self.threshold = state["threshold"]
+        self.metric = state["metric"]
+        if self.metric not in _METRIC_ATTRS:
+            raise AnalysisError(f"unknown metric {self.metric!r}")
+        self.min_samples = state["min_samples"]
+        self.window_days = state["window_days"]
+        self.lateness_s = float(state["lateness_s"])
+        self.watermark = float(state["watermark"])
+        self.observed = int(state["observed"])
+        self.late_dropped = int(state["late_dropped"])
+        self.sealed_days = int(state["sealed_days"])
+        self.version = int(state["version"])
+        self._offsets = {sid: float(offset)
+                         for sid, offset in state["offsets"].items()}
+        self._open = {}
+        for entry in state["open"]:
+            pair = tuple(entry["pair"])
+            bucket = _OpenDay(float(entry["due_ts"]))
+            bucket.ts = [float(ts) for ts in entry["ts"]]
+            bucket.values = [float(v) for v in entry["values"]]
+            self._open.setdefault(pair, {})[int(entry["day"])] = bucket
+        self._sealed = {}
+        for entry in state["sealed"]:
+            pair = tuple(entry["pair"])
+            self._sealed.setdefault(pair, {})[int(entry["day"])] = (
+                _summary_from_dict(entry["summary"]))
+
+
+def _summary_to_dict(summary: DaySummary) -> Dict[str, Any]:
+    record = summary.record
+    return {
+        "record": None if record is None else {
+            "pair": list(record.pair), "day_index": record.day_index,
+            "n_samples": record.n_samples, "t_max": record.t_max,
+            "t_min": record.t_min},
+        "measured_hours": summary.measured_hours,
+        "events": [
+            {"ts": e.ts, "local_hour": e.local_hour,
+             "day_index": e.day_index, "v_h": e.v_h,
+             "throughput_mbps": e.throughput_mbps,
+             "day_peak_mbps": e.day_peak_mbps}
+            for e in summary.events],
+    }
+
+
+def _summary_from_dict(data: Dict[str, Any]) -> DaySummary:
+    pair = None
+    record = data["record"]
+    if record is not None:
+        pair = tuple(record["pair"])
+        record = DayRecord(pair=pair, day_index=int(record["day_index"]),
+                           n_samples=int(record["n_samples"]),
+                           t_max=float(record["t_max"]),
+                           t_min=float(record["t_min"]))
+    events = []
+    for e in data["events"]:
+        if pair is None:
+            raise ValidationError(
+                "sealed-day snapshot has events but no day record")
+        events.append(CongestionEvent(
+            pair=pair, ts=float(e["ts"]), local_hour=int(e["local_hour"]),
+            day_index=int(e["day_index"]), v_h=float(e["v_h"]),
+            throughput_mbps=float(e["throughput_mbps"]),
+            day_peak_mbps=float(e["day_peak_mbps"])))
+    return DaySummary(record=record, measured_hours=int(
+        data["measured_hours"]), events=tuple(events))
 
 
 # ----------------------------------------------------------------------

@@ -199,6 +199,59 @@ class Table:
     def __len__(self) -> int:
         return sum(len(buf) for buf in self._series.values())
 
+    # ------------------------------------------------------------------
+    # persistence
+
+    def dump(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of schema and every series.
+
+        Rows are emitted in arrival order per series (the order that
+        determines stable-sort tie-breaking), so a dump/restore round
+        trip reproduces :meth:`series` views bit for bit.
+        """
+        return {
+            "name": self.name,
+            "tag_names": list(self.tag_names),
+            "field_names": list(self.field_names),
+            "series": [
+                {"tags": list(key),
+                 "ts": list(buf.ts),
+                 "fields": [list(column) for column in buf.fields]}
+                for key, buf in sorted(self._series.items())],
+        }
+
+    @classmethod
+    def from_dump(cls, dump: Dict[str, object]) -> "Table":
+        """Rebuild a table from :meth:`dump` output."""
+        try:
+            table = cls(dump["name"], dump["tag_names"],
+                        dump["field_names"])
+            entries = dump["series"]
+        except (KeyError, TypeError):
+            raise TSDBError("malformed table dump") from None
+        for entry in entries:
+            key = tuple(entry["tags"])
+            if len(key) != len(table.tag_names):
+                raise TSDBError(
+                    f"table {table.name!r}: dumped series {key!r} has "
+                    f"{len(key)} tags, schema has {len(table.tag_names)}")
+            columns = entry["fields"]
+            if len(columns) != len(table.field_names):
+                raise TSDBError(
+                    f"table {table.name!r}: dumped series {key!r} has "
+                    f"{len(columns)} field columns, schema has "
+                    f"{len(table.field_names)}")
+            ts_values = entry["ts"]
+            if any(len(column) != len(ts_values) for column in columns):
+                raise TSDBError(
+                    f"table {table.name!r}: dumped series {key!r} has "
+                    "ragged field columns")
+            buf = _SeriesBuffer(len(table.field_names))
+            buf.extend([float(ts) for ts in ts_values],
+                       [[float(v) for v in column] for column in columns])
+            table._series[key] = buf
+        return table
+
 
 class TimeSeriesDB:
     """A named collection of tables."""
@@ -225,3 +278,24 @@ class TimeSeriesDB:
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables
+
+    def dump(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of every table (see Table.dump)."""
+        return {"tables": [self._tables[name].dump()
+                           for name in self.tables()]}
+
+    @classmethod
+    def from_dump(cls, dump: Dict[str, object]) -> "TimeSeriesDB":
+        """Rebuild a database from :meth:`dump` output."""
+        try:
+            entries = dump["tables"]
+        except (KeyError, TypeError):
+            raise TSDBError("malformed database dump") from None
+        db = cls()
+        for entry in entries:
+            table = Table.from_dump(entry)
+            if table.name in db._tables:
+                raise TSDBError(
+                    f"database dump repeats table {table.name!r}")
+            db._tables[table.name] = table
+        return db

@@ -48,7 +48,7 @@ __all__ = [
 
 #: Bump when the shape of FileFacts (or fact extraction) changes, so
 #: stale cache entries are discarded rather than misread.
-FACTS_VERSION = 1
+FACTS_VERSION = 2
 
 #: Constructor calls whose result is a mutable container.
 _MUTABLE_CALLS = frozenset({
@@ -186,6 +186,8 @@ class FileFacts:
     classes: List[ClassFacts] = field(default_factory=list)
     #: Class names listed in the ``EVENT_KINDS`` registry tuple.
     event_kinds_classes: List[str] = field(default_factory=list)
+    #: Class names listed in the ``RULE_KINDS`` registry tuple.
+    rule_kinds_classes: List[str] = field(default_factory=list)
     #: line -> suppressed codes ("*" means all) for cross-file findings.
     noqa: Dict[int, List[str]] = field(default_factory=dict)
 
@@ -215,6 +217,7 @@ class FileFacts:
                 "fields": [list(f) for f in c.fields],
             } for c in self.classes],
             "event_kinds_classes": list(self.event_kinds_classes),
+            "rule_kinds_classes": list(self.rule_kinds_classes),
             "noqa": {str(line): codes for line, codes in self.noqa.items()},
         }
 
@@ -243,6 +246,7 @@ class FileFacts:
                 fields=tuple((f[0], f[1], f[2]) for f in c["fields"]),
             ) for c in data["classes"]],
             event_kinds_classes=list(data["event_kinds_classes"]),
+            rule_kinds_classes=list(data["rule_kinds_classes"]),
             noqa={int(line): list(codes)
                   for line, codes in data["noqa"].items()},
         )
@@ -687,6 +691,8 @@ def extract_facts(ctx: "ModuleContext",
                 target.id, node.lineno, kind, _string_elements(value)))
             if target.id == "EVENT_KINDS":
                 facts.event_kinds_classes = _event_kinds_classes(value)
+            elif target.id == "RULE_KINDS":
+                facts.rule_kinds_classes = _event_kinds_classes(value)
 
     parents: Dict[ast.AST, ast.AST] = {}
     for parent in ast.walk(ctx.tree):

@@ -1,4 +1,4 @@
-"""Whole-program invariant rules (RPR009 ... RPR012).
+"""Whole-program invariant rules (RPR009 ... RPR013).
 
 These rules consume the :class:`~repro.lint.index.ProjectIndex` instead
 of one module at a time, so they can see what no per-file pass can:
@@ -311,3 +311,87 @@ def check_event_exhaustiveness(index: ProjectIndex) -> Iterator[Finding]:
                     facts.path, cls.line, "RPR012",
                     f"observer {cls.name} ignores unknown event kind "
                     f"{kind!r}")
+
+
+# --------------------------------------------------------------------------
+# RPR013 alert-rule-exhaustiveness
+# --------------------------------------------------------------------------
+
+_RULES_MODULE = "repro.alerts.rules"
+_EVAL_MODULE = "repro.alerts.engine"
+_EVALUATOR_CLASS = "RuleEvaluator"
+
+
+@cross_file_rule("RPR013", "alert-rule-exhaustiveness",
+                 "the alert rule taxonomy, RULE_KINDS, and the "
+                 "RuleEvaluator dispatch table must agree: each rule "
+                 "class registered with a unique literal kind, each "
+                 "kind handled by an _eval_* method, no stray handlers")
+def check_alert_rule_exhaustiveness(index: ProjectIndex
+                                    ) -> Iterator[Finding]:
+    rules = index.modules.get(_RULES_MODULE)
+    if rules is None:
+        return  # single-file runs / fixtures without the taxonomy
+
+    rule_classes = [
+        (module, cls)
+        for module, cls in index.subclasses_of(_RULES_MODULE, "AlertRule")
+        if module == _RULES_MODULE]
+    registered = set(rules.rule_kinds_classes)
+
+    kinds: Dict[str, str] = {}
+    for _module, cls in rule_classes:
+        kind = cls.attr("kind")
+        if kind is None:
+            yield Finding(rules.path, cls.line, "RPR013",
+                          f"rule class {cls.name} declares no literal "
+                          f"`kind` identifier")
+            continue
+        if kind in kinds:
+            yield Finding(rules.path, cls.line, "RPR013",
+                          f"rule classes {kinds[kind]} and {cls.name} "
+                          f"share the kind string {kind!r}")
+        kinds[kind] = cls.name
+        if cls.name not in registered:
+            yield Finding(rules.path, cls.line, "RPR013",
+                          f"rule class {cls.name} is missing from the "
+                          f"RULE_KINDS registry tuple")
+
+    # Registry soundness: every RULE_KINDS entry is a real rule class.
+    class_names = {cls.name for _module, cls in rule_classes}
+    for name in sorted(registered):
+        if name not in class_names:
+            yield Finding(
+                rules.path, 1, "RPR013",
+                f"RULE_KINDS references {name}, which is not an "
+                f"AlertRule subclass in {_RULES_MODULE}")
+
+    # Evaluator exhaustiveness: one _eval_* handler per kind, no more.
+    engine = index.modules.get(_EVAL_MODULE)
+    if engine is None:
+        return
+    evaluator = None
+    for cls in engine.classes:
+        if cls.name == _EVALUATOR_CLASS:
+            evaluator = cls
+            break
+    if evaluator is None:
+        yield Finding(engine.path, 1, "RPR013",
+                      f"{_EVAL_MODULE} defines no {_EVALUATOR_CLASS} "
+                      f"class to dispatch the rule kinds")
+        return
+    handler_names = {kind: "_eval_" + kind.replace("-", "_")
+                     for kind in kinds}
+    for kind in sorted(kinds):
+        if handler_names[kind] not in evaluator.methods:
+            yield Finding(
+                engine.path, evaluator.line, "RPR013",
+                f"{_EVALUATOR_CLASS} has no handler for rule kind "
+                f"{kind!r}; add {handler_names[kind]}()")
+    valid_handlers = set(handler_names.values())
+    for method in evaluator.methods:
+        if method.startswith("_eval_") and method not in valid_handlers:
+            yield Finding(
+                engine.path, evaluator.line, "RPR013",
+                f"{_EVALUATOR_CLASS}.{method} matches no registered "
+                f"rule kind (known: {', '.join(sorted(kinds))})")

@@ -14,11 +14,11 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..errors import ValidationError
-from .metrics import MetricsRegistry
-from .spans import Span, Tracer
+from .metrics import MetricsRegistry, snapshot_percentile
+from .spans import FlightRecorder, Span, Tracer
 
 __all__ = [
     "metrics_to_jsonlines",
@@ -65,12 +65,18 @@ def metrics_to_jsonlines(snapshot: Dict[str, Any]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def metrics_to_prometheus(snapshot: Dict[str, Any]) -> str:
+def metrics_to_prometheus(snapshot: Dict[str, Any],
+                          recorder: Optional[FlightRecorder] = None
+                          ) -> str:
     """Prometheus text exposition format (counters, gauges, histograms).
 
     Histogram buckets are converted from the registry's sparse
     ``{"<N": count}`` shape to the cumulative ``le``-labelled series
-    Prometheus expects, ending with the mandatory ``le="+Inf"`` bucket.
+    Prometheus expects, ending with the mandatory ``le="+Inf"`` bucket,
+    followed by ``_p50``/``_p90``/``_p99`` upper-bound summaries.
+    Passing the tracer's *recorder* additionally exposes the flight
+    recorder's recorded/dropped span totals, so span loss is visible
+    on the same scrape as everything else.
     """
     out: List[str] = []
     for name, value in snapshot.get("counters", {}).items():
@@ -93,6 +99,14 @@ def metrics_to_prometheus(snapshot: Dict[str, Any]) -> str:
         out.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
         out.append(f"{prom}_sum {_fmt(hist['mean'] * hist['count'])}")
         out.append(f"{prom}_count {hist['count']}")
+        for label, q in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+            out.append(
+                f"{prom}_{label} {_fmt(snapshot_percentile(hist, q))}")
+    if recorder is not None:
+        out.append("# TYPE obs_spans_recorded_total counter")
+        out.append(f"obs_spans_recorded_total {recorder.n_recorded}")
+        out.append("# TYPE obs_spans_dropped_total counter")
+        out.append(f"obs_spans_dropped_total {recorder.n_dropped}")
     return "\n".join(out) + ("\n" if out else "")
 
 
@@ -172,7 +186,8 @@ def write_profile(path: Union[str, Path], tracer: Tracer,
 
     emit("spans.jsonl", spans_to_jsonlines(spans))
     emit("metrics.jsonl", metrics_to_jsonlines(snapshot))
-    emit("metrics.prom", metrics_to_prometheus(snapshot))
+    emit("metrics.prom",
+         metrics_to_prometheus(snapshot, recorder=tracer.recorder))
 
     # profile.txt: span tree plus the wall-time-hottest span names.
     totals: Dict[str, float] = {}

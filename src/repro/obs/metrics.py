@@ -14,11 +14,36 @@ shape (the engine re-exports it for compatibility).
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+from typing import Any, Dict, Mapping
 
 from ..errors import ConfigError, ValidationError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "snapshot_percentile"]
+
+
+def snapshot_percentile(hist: Mapping[str, Any], q: float) -> float:
+    """Upper-bound q-quantile from a :meth:`Histogram.snapshot` dict.
+
+    Walks the sparse ``buckets`` mapping (keys ``"<N"``) cumulatively
+    and returns the upper bound of the bucket containing the target
+    rank, capped at the observed ``max``.  Works on merged snapshots
+    too; returns 0.0 for an empty histogram.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValidationError(f"quantile must be in (0, 1], got {q}")
+    count = int(hist.get("count", 0))
+    if count == 0:
+        return 0.0
+    bounds = sorted((int(key[1:]), n)
+                    for key, n in hist.get("buckets", {}).items())
+    target = math.ceil(q * count)
+    cumulative = 0
+    for bound, n in bounds:
+        cumulative += n
+        if cumulative >= target:
+            return min(float(bound), float(hist.get("max", bound)))
+    return float(hist.get("max", 0.0))
 
 
 class Histogram:
@@ -80,6 +105,10 @@ class Histogram:
                    for index, count in enumerate(self.counts) if count}
         return {"count": self.n, "mean": self.mean,
                 "max": self.max_value, "buckets": buckets}
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound q-quantile estimate from the log2 buckets."""
+        return snapshot_percentile(self.snapshot(), q)
 
 
 class Counter:
@@ -199,3 +228,56 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # persistence (daemon save/restore)
+
+    def dump_state(self) -> Dict[str, Any]:
+        """JSON-serializable raw internals, exact to the float.
+
+        Unlike :meth:`snapshot` (which exposes derived values such as
+        the mean), this captures ``total``/``n``/``counts`` directly so
+        :meth:`restore_state` reproduces the registry bit for bit.
+        """
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {
+                name: {"n_buckets": hist.n_buckets,
+                       "counts": list(hist.counts), "n": hist.n,
+                       "total": hist.total, "max_value": hist.max_value}
+                for name, hist in sorted(self._histograms.items())},
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Restore :meth:`dump_state` output (per-name overwrite).
+
+        Each restored name gets exactly the dumped value; names not in
+        the dump are left alone.  Restored names claim their type as
+        usual, so restoring into a registry that already uses a name
+        as a different type raises
+        :class:`~repro.errors.ConfigError`.
+        """
+        for name, value in state["counters"].items():
+            self.counter(name).value = float(value)
+        for name, value in state["gauges"].items():
+            self.gauge(name).set(value)
+        for name, data in state["histograms"].items():
+            n_buckets = int(data["n_buckets"])
+            if len(data["counts"]) != n_buckets:
+                raise ValidationError(
+                    f"histogram {name!r} state is malformed: "
+                    f"{len(data['counts'])} counts for {n_buckets} "
+                    f"buckets")
+            hist = self.histogram(name, n_buckets)
+            if hist.n_buckets != n_buckets:
+                raise ValidationError(
+                    f"histogram {name!r} shape changed: registry has "
+                    f"{hist.n_buckets} buckets, state has "
+                    f"{data['n_buckets']}")
+            hist.counts = [int(c) for c in data["counts"]]
+            hist.n = int(data["n"])
+            hist.total = float(data["total"])
+            hist.max_value = float(data["max_value"])

@@ -93,11 +93,27 @@ def _obs_panel(snapshot: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _alerts_panel(notifications: List[Any]) -> List[str]:
+    """Alerting panel from a notification log (see repro.alerts)."""
+    lines = ["## alerts"]
+    if not notifications:
+        lines.append("no alert transitions")
+        return lines
+    table = TextTable(["sim ts", "rule", "severity", "status", "value"])
+    for notification in notifications:
+        table.add_row([f"{notification.ts:.0f}", notification.rule,
+                       notification.severity, notification.status,
+                       f"{notification.value:.2f}"])
+    lines.append(table.render())
+    return lines
+
+
 def render_dashboard(dataset: CampaignDataset,
                      report: Optional[CongestionReport] = None,
                      top_k: int = 5,
                      metrics: Optional[Dict[str, Any]] = None,
-                     obs_snapshot: Optional[Dict[str, Any]] = None) -> str:
+                     obs_snapshot: Optional[Dict[str, Any]] = None,
+                     notifications: Optional[List[Any]] = None) -> str:
     """Render the full dashboard as one text block.
 
     *metrics* is an optional
@@ -109,6 +125,10 @@ def render_dashboard(dataset: CampaignDataset,
     *obs_snapshot* is an optional :func:`repro.obs.snapshot` dict; when
     given, a cross-layer metrics panel (per-layer counters and
     histograms) is appended after the engine panel.
+
+    *notifications* is an optional
+    :class:`~repro.alerts.engine.Notification` log from a collector
+    run; when given (even empty), an alerts panel is appended.
     """
     if report is None:
         report = detect(dataset)
@@ -148,4 +168,7 @@ def render_dashboard(dataset: CampaignDataset,
     if obs_snapshot is not None:
         lines.append("")
         lines.extend(_obs_panel(obs_snapshot))
+    if notifications is not None:
+        lines.append("")
+        lines.extend(_alerts_panel(notifications))
     return "\n".join(lines)

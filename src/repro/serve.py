@@ -82,13 +82,17 @@ class MonitorService:
     def __init__(self, detector: StreamingCongestionDetector,
                  ttl_s: float = HOUR,
                  registry: Optional[MetricsRegistry] = None,
-                 min_day_fraction: float = 0.10) -> None:
+                 min_day_fraction: float = 0.10,
+                 evaluator: Optional[Any] = None) -> None:
         if ttl_s <= 0:
             raise ValidationError(f"ttl_s must be > 0, got {ttl_s}")
         self.detector = detector
         self.ttl_s = float(ttl_s)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.min_day_fraction = min_day_fraction
+        #: Optional :class:`~repro.alerts.engine.RuleEvaluator`; when
+        #: set, snapshots and exports carry live alert state too.
+        self.evaluator = evaluator
         self._snapshot: Optional[Dict[str, Any]] = None
         self._cached_at: Optional[float] = None
         self._stale_max = 0.0
@@ -132,6 +136,12 @@ class MonitorService:
             "observed": detector.observed,
             "late_dropped": detector.late_dropped,
             "sealed_days": detector.sealed_days,
+            "alerts": None if self.evaluator is None else {
+                "active": self.evaluator.active_count,
+                "firing": [rule.name for rule, _since
+                           in self.evaluator.firing()],
+                "notifications": len(self.evaluator.notifications),
+            },
         }
 
     def _refresh(self, now_ts: float) -> Dict[str, Any]:
@@ -236,8 +246,12 @@ class MonitorService:
             max_staleness_s=self._stale_max)
 
     def prometheus(self) -> str:
-        """Serving + detector metrics in Prometheus text format."""
-        return metrics_to_prometheus(self.registry.snapshot())
+        """Serving + detector metrics (+ alerts) in Prometheus text."""
+        text = metrics_to_prometheus(self.registry.snapshot())
+        if self.evaluator is not None:
+            from .alerts.notify import alerts_to_prometheus
+            text += alerts_to_prometheus(self.evaluator)
+        return text
 
     def json_lines(self) -> str:
         """Serving + detector metrics as JSON lines."""

@@ -287,6 +287,85 @@ def test_generic_on_event_observer_exempt():
     assert findings == []
 
 
+# -- RPR013 alert-rule-exhaustiveness ---------------------------------------
+
+_RULES_FIXTURE = """
+    from typing import ClassVar, Tuple
+
+    class AlertRule:
+        kind: ClassVar[str] = "rule"
+
+    class ThresholdRule(AlertRule):
+        kind: ClassVar[str] = "threshold"
+
+    class BurnRateRule(AlertRule):
+        kind: ClassVar[str] = "burn-rate"
+
+    RULE_KINDS: Tuple[str, ...] = tuple(
+        cls.kind for cls in (ThresholdRule, BurnRateRule))
+"""
+
+_ENGINE_FIXTURE = """
+    class RuleEvaluator:
+        def _eval_threshold(self, rule, now_ts):
+            pass
+
+        def _eval_burn_rate(self, rule, now_ts):
+            pass
+"""
+
+
+def _rules_project(rules=_RULES_FIXTURE, engine=_ENGINE_FIXTURE):
+    return lint_sources({
+        "src/repro/alerts/rules.py": textwrap.dedent(rules),
+        "src/repro/alerts/engine.py": textwrap.dedent(engine),
+    }, select=["RPR013"])
+
+
+def test_consistent_rule_taxonomy_is_clean():
+    assert _rules_project() == []
+
+
+def test_unregistered_rule_class_flagged():
+    findings = _rules_project(rules=_RULES_FIXTURE.replace(
+        "(ThresholdRule, BurnRateRule)", "(ThresholdRule,)"))
+    assert any("RULE_KINDS" in f.message and "BurnRateRule" in f.message
+               for f in findings)
+
+
+def test_rule_without_literal_kind_flagged():
+    findings = _rules_project(rules=_RULES_FIXTURE.replace(
+        'kind: ClassVar[str] = "burn-rate"', "pass"))
+    assert any("no literal" in f.message for f in findings)
+
+
+def test_duplicate_rule_kind_flagged():
+    findings = _rules_project(rules=_RULES_FIXTURE.replace(
+        '"burn-rate"', '"threshold"'))
+    assert any("share the kind" in f.message for f in findings)
+
+
+def test_phantom_registry_entry_flagged():
+    findings = _rules_project(rules=_RULES_FIXTURE.replace(
+        "(ThresholdRule, BurnRateRule)",
+        "(ThresholdRule, BurnRateRule, GhostRule)"))
+    assert any("GhostRule" in f.message and "not an AlertRule" in f.message
+               for f in findings)
+
+
+def test_missing_eval_handler_flagged():
+    findings = _rules_project(engine=_ENGINE_FIXTURE.replace(
+        "_eval_burn_rate", "_eval_burns"))
+    messages = " ".join(f.message for f in findings)
+    assert "no handler for rule kind 'burn-rate'" in messages
+    assert "_eval_burns" in messages
+
+
+def test_missing_evaluator_class_flagged():
+    findings = _rules_project(engine="class Other:\n    pass\n")
+    assert any("no RuleEvaluator" in f.message for f in findings)
+
+
 # -- project index ----------------------------------------------------------
 
 def test_import_cycle_detected():

@@ -19,6 +19,7 @@ from repro.experiments.scenario import build_scenario
 from repro.faults import FaultPlan
 from repro.obs import (Counter, FlightRecorder, Gauge, Histogram,
                        MetricsRegistry, Tracer)
+from repro.obs.metrics import snapshot_percentile
 from repro.obs.exporters import (metrics_to_jsonlines,
                                  metrics_to_prometheus, render_span_tree,
                                  spans_to_jsonlines, write_profile)
@@ -324,6 +325,81 @@ def test_metrics_prometheus_cumulative_buckets():
     assert "lat_sum 106.5" in lines
     assert "lat_count 4" in lines
     assert metrics_to_prometheus({}) == ""
+
+
+def test_snapshot_percentile_walks_buckets():
+    hist = Histogram()
+    for value in (0.5, 3.0, 3.0, 100.0):
+        hist.add(value)
+    snap = hist.snapshot()
+    # Ranks: p50 lands in the <4 bucket, p99 in the <128 bucket
+    # (capped at the observed max).
+    assert snapshot_percentile(snap, 0.5) == 4.0
+    assert snapshot_percentile(snap, 0.25) == 1.0
+    assert snapshot_percentile(snap, 0.99) == 100.0
+    assert hist.percentile(0.99) == 100.0
+    assert snapshot_percentile(Histogram().snapshot(), 0.5) == 0.0
+    with pytest.raises(ValidationError):
+        snapshot_percentile(snap, 0.0)
+    with pytest.raises(ValidationError):
+        snapshot_percentile(snap, 1.5)
+
+
+def test_metrics_prometheus_percentile_lines():
+    lines = metrics_to_prometheus(_sample_snapshot()).splitlines()
+    assert "lat_p50 4" in lines
+    assert "lat_p90 100" in lines
+    assert "lat_p99 100" in lines
+
+
+def test_metrics_prometheus_recorder_totals():
+    recorder = FlightRecorder(capacity=2)
+    for i in range(5):
+        recorder.record(types.SimpleNamespace(span_id=i))
+    text = metrics_to_prometheus(_sample_snapshot(), recorder=recorder)
+    lines = text.splitlines()
+    assert "obs_spans_recorded_total 5" in lines
+    assert "obs_spans_dropped_total 3" in lines
+    assert "# TYPE obs_spans_dropped_total counter" in lines
+
+
+def test_registry_dump_state_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("cache.hits").inc(5)
+    registry.gauge("lanes").set(2.5)
+    hist = registry.histogram("lat")
+    for value in (0.5, 3.0, 3.0, 100.0):
+        hist.add(value)
+    clone = MetricsRegistry()
+    clone.restore_state(registry.dump_state())
+    assert clone.snapshot() == registry.snapshot()
+    assert clone.dump_state() == registry.dump_state()
+    # Per-name overwrite: names absent from the dump survive.
+    other = MetricsRegistry()
+    other.counter("other").inc(7)
+    other.restore_state(registry.dump_state())
+    assert other.snapshot()["counters"]["other"] == 7
+    assert other.snapshot()["counters"]["cache.hits"] == 5
+
+
+def test_registry_restore_state_rejects_mismatches():
+    registry = MetricsRegistry()
+    registry.histogram("lat").add(1.0)
+    state = registry.dump_state()
+    clone = MetricsRegistry()
+    clone.counter("lat").inc()
+    with pytest.raises(ConfigError):
+        clone.restore_state(state)
+    bad = MetricsRegistry()
+    shape = dict(state["histograms"]["lat"])
+    shape["counts"] = shape["counts"][:-1]
+    with pytest.raises(ValidationError):
+        bad.restore_state({"counters": {}, "gauges": {},
+                           "histograms": {"lat": shape}})
+    reshaped = MetricsRegistry()
+    reshaped.histogram("lat", n_buckets=8)
+    with pytest.raises(ValidationError):
+        reshaped.restore_state(state)
 
 
 def test_spans_jsonlines_round_trip():

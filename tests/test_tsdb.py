@@ -155,3 +155,87 @@ def test_series_arrays_are_read_only(table):
     with pytest.raises(ValueError):
         series["down"][0] = -1.0
     assert np.array(series["ts"], copy=True).flags.writeable  # copies work
+
+
+# ----------------------------------------------------------------------
+# persistence (dump / from_dump)
+
+
+def test_table_dump_round_trip(table):
+    clone = Table.from_dump(table.dump())
+    assert clone.name == table.name
+    assert clone.tag_names == table.tag_names
+    assert clone.field_names == table.field_names
+    assert len(clone) == len(table)
+    for key, original in table.select():
+        restored = clone.series(key)
+        for column in ("ts",) + table.field_names:
+            assert np.array_equal(original[column], restored[column])
+
+
+def test_table_dump_round_trips_through_json(table):
+    import json
+
+    clone = Table.from_dump(json.loads(json.dumps(table.dump())))
+    assert clone.dump() == table.dump()
+
+
+def test_dump_preserves_arrival_order_ties():
+    # Two rows at the same ts: the sorted view's stable tie-break
+    # follows arrival order, so the dump must preserve it.
+    t = Table("t", ("k",), ("v",))
+    t.append(1.0, ("a",), (10.0,))
+    t.append(1.0, ("a",), (20.0,))
+    clone = Table.from_dump(t.dump())
+    assert np.array_equal(clone.series(("a",))["v"],
+                          t.series(("a",))["v"])
+
+
+def test_from_dump_rejects_malformed():
+    with pytest.raises(TSDBError):
+        Table.from_dump({"name": "t"})
+    with pytest.raises(TSDBError):
+        Table.from_dump([])
+
+
+def test_from_dump_rejects_tag_arity_mismatch(table):
+    dump = table.dump()
+    dump["series"][0]["tags"].append("extra")
+    with pytest.raises(TSDBError):
+        Table.from_dump(dump)
+
+
+def test_from_dump_rejects_field_column_mismatch(table):
+    dump = table.dump()
+    dump["series"][0]["fields"].append([0.0])
+    with pytest.raises(TSDBError):
+        Table.from_dump(dump)
+
+
+def test_from_dump_rejects_ragged_columns(table):
+    dump = table.dump()
+    dump["series"][0]["fields"][0].append(999.0)
+    with pytest.raises(TSDBError):
+        Table.from_dump(dump)
+
+
+def test_db_dump_round_trip(table):
+    db = TimeSeriesDB()
+    db.create_table("a", ("k",), ("v",)).append(1.0, ("x",), (2.0,))
+    db._tables["speedtest"] = table
+    clone = TimeSeriesDB.from_dump(db.dump())
+    assert clone.tables() == db.tables()
+    assert clone.dump() == db.dump()
+
+
+def test_db_from_dump_rejects_malformed():
+    with pytest.raises(TSDBError):
+        TimeSeriesDB.from_dump({})
+    with pytest.raises(TSDBError):
+        TimeSeriesDB.from_dump(None)
+
+
+def test_db_from_dump_rejects_repeated_table(table):
+    dump = {"tables": [table.dump(), table.dump()]}
+    with pytest.raises(TSDBError):
+        TimeSeriesDB.from_dump(dump)
